@@ -1,0 +1,157 @@
+// Command kodan-bench regenerates every table and figure of the paper's
+// evaluation and prints the rows the paper reports. By default it runs the
+// full-size experiments (the same scale as the repository's benchmark
+// suite); -size=quick runs the down-sized variant used by unit tests.
+//
+// Usage:
+//
+//	kodan-bench [-size full|quick] [-only table1,fig2,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"kodan/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kodan-bench: ")
+	sizeFlag := flag.String("size", "full", "experiment scale: full or quick")
+	onlyFlag := flag.String("only", "", "comma-separated subset (table1,fig2,...,fig15,ablation-k,ablation-source)")
+	csvDir := flag.String("csv", "", "also write per-figure CSV files to this directory")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	size := experiments.Full
+	switch *sizeFlag {
+	case "full":
+	case "quick":
+		size = experiments.Quick
+	default:
+		log.Fatalf("unknown -size %q", *sizeFlag)
+	}
+
+	want := map[string]bool{}
+	if *onlyFlag != "" {
+		for _, k := range strings.Split(*onlyFlag, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	selected := func(k string) bool { return len(want) == 0 || want[k] }
+
+	lab := experiments.NewLab(size)
+	start := time.Now()
+
+	writeCSV := func(key string, rows interface{}) {
+		if *csvDir == "" {
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, key+".csv"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := experiments.WriteCSV(f, rows); err != nil {
+			log.Fatalf("%s: %v", key, err)
+		}
+	}
+
+	run := func(key string, gen func() (string, interface{}, error)) {
+		if !selected(key) {
+			return
+		}
+		t0 := time.Now()
+		out, rows, err := gen()
+		if err != nil {
+			log.Fatalf("%s: %v", key, err)
+		}
+		fmt.Println(out)
+		writeCSV(key, rows)
+		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", key, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("table1", func() (string, interface{}, error) {
+		rows := experiments.Table1()
+		return experiments.RenderTable1(rows), rows, nil
+	})
+	run("fig2", func() (string, interface{}, error) {
+		rows, err := lab.Figure2(lab.SatCounts())
+		return experiments.RenderFigure2(rows), rows, err
+	})
+	run("fig3", func() (string, interface{}, error) {
+		rows, err := lab.Figure3(lab.SatCounts())
+		return experiments.RenderFigure3(rows), rows, err
+	})
+	run("fig4", func() (string, interface{}, error) {
+		rows, err := lab.Figure4()
+		return experiments.RenderFigure4(rows), rows, err
+	})
+	run("fig5", func() (string, interface{}, error) {
+		rows, err := lab.Figure5(lab.SatCounts())
+		return experiments.RenderFigure5(rows), rows, err
+	})
+	run("fig8", func() (string, interface{}, error) {
+		rows, err := lab.Figure8()
+		if err != nil {
+			return "", nil, err
+		}
+		lo, hi := experiments.Headline(rows)
+		return experiments.RenderFigure8(rows) +
+			fmt.Sprintf("headline: Kodan improves DVD %.0f%%..%.0f%% over the bent pipe (paper: 89-97%%)\n",
+				lo*100, hi*100), rows, nil
+	})
+	run("fig9", func() (string, interface{}, error) {
+		rows, err := lab.Figure9()
+		return experiments.RenderFigure9(rows), rows, err
+	})
+	run("fig10", func() (string, interface{}, error) {
+		pts, err := lab.Figure10()
+		return experiments.RenderFigure10(pts), pts, err
+	})
+	run("fig11", func() (string, interface{}, error) {
+		rows, err := lab.Figure11()
+		return experiments.RenderFigure11(rows), rows, err
+	})
+	run("fig12", func() (string, interface{}, error) {
+		rows, err := lab.Figure12()
+		return experiments.RenderFigure12(rows), rows, err
+	})
+	run("fig13", func() (string, interface{}, error) {
+		rows, err := lab.Figure13()
+		return experiments.RenderFigure13(rows), rows, err
+	})
+	run("fig14", func() (string, interface{}, error) {
+		rows, err := lab.Figure14()
+		return experiments.RenderFigure14(rows), rows, err
+	})
+	run("fig15", func() (string, interface{}, error) {
+		rows, err := lab.Figure15()
+		return experiments.RenderFigure15(rows), rows, err
+	})
+	run("ablation-k", func() (string, interface{}, error) {
+		ks := []int{2, 4, 6, 8, 10}
+		if size == experiments.Quick {
+			ks = []int{2, 6}
+		}
+		rows, err := lab.AblationContextCount(ks)
+		return experiments.RenderAblationContextCount(rows), rows, err
+	})
+	run("ablation-source", func() (string, interface{}, error) {
+		rows, err := lab.AblationContextSource()
+		return experiments.RenderAblationContextSource(rows), rows, err
+	})
+
+	fmt.Fprintf(os.Stderr, "total: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,71 @@
+// Quickstart: transform one application and generate its selection logic
+// for a cubesat-class target, printing what Kodan decided and why.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kodan"
+)
+
+func main() {
+	log.SetFlags(0)
+	epoch := time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC)
+
+	// 1. Simulate the reference mission: the Landsat 8 orbit, camera, and
+	//    ground segment. This yields the frame deadline and the fraction
+	//    of observations the downlink can carry.
+	mission, err := kodan.LandsatMission(epoch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mission: deadline %.1f s, %.0f frames/day, downlink %.0f%% of observations\n",
+		mission.FrameDeadline.Seconds(), mission.FramesPerDay, 100*mission.CapacityFrac)
+
+	// 2. One-time transformation: representative dataset, contexts, and a
+	//    context engine. (Down-sized here so the example runs in seconds.)
+	cfg := kodan.DefaultTransformConfig(42)
+	cfg.Frames = 60
+	cfg.TileRes = 16
+	cfg.Tilings = []kodan.Tiling{{PerSide: 3}, {PerSide: 11}}
+	sys, err := kodan.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("contexts: %d generated\n", sys.ContextCount())
+
+	// 3. Transform Table 1's App 4 (resnet50dilated) and generate the
+	//    selection logic for the Jetson Orin in its 15 W cubesat mode.
+	app, err := sys.Transform(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deployment := mission.Deployment(kodan.Orin15W)
+	logic, est := app.SelectionLogic(deployment)
+
+	fmt.Printf("\nselection logic for %v on %v:\n", app.Arch(), kodan.Orin15W)
+	fmt.Printf("  tiling: %v\n", logic.Tiling)
+	for c, action := range logic.Actions {
+		stats := sys.Contexts()[c]
+		fmt.Printf("  %-18s (high-value %.2f) -> %v\n", stats.Name, stats.HighValueFrac, action)
+	}
+
+	// 4. Compare against the baselines.
+	bent := app.BentPipe(deployment)
+	direct, err := app.DirectDeploy(deployment, kodan.Tiling{PerSide: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nresults (data value density of the saturated downlink):\n")
+	fmt.Printf("  bent pipe:     %.3f\n", bent.DVD)
+	fmt.Printf("  direct deploy: %.3f (frame time %.0f s vs %.0f s deadline)\n",
+		direct.DVD, direct.FrameTime.Seconds(), mission.FrameDeadline.Seconds())
+	fmt.Printf("  kodan:         %.3f (frame time %.0f s, +%.0f%% over bent pipe)\n",
+		est.DVD, est.FrameTime.Seconds(), 100*(est.DVD/bent.DVD-1))
+}

@@ -1,0 +1,3 @@
+module kodan
+
+go 1.24

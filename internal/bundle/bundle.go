@@ -1,0 +1,136 @@
+// Package bundle serializes deployment artifacts: the generated selection
+// logic, the context inventory, and the measured profile it was derived
+// from. A mission would uplink this bundle to the satellite (it is a few
+// kilobytes — the trained model weights ride along separately); on the
+// ground it serves as the auditable record of what the transformation step
+// decided and why.
+package bundle
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"kodan/internal/ctxengine"
+	"kodan/internal/hw"
+	"kodan/internal/policy"
+	"kodan/internal/tiling"
+)
+
+// Version identifies the bundle schema.
+const Version = 1
+
+// Context is the serialized form of one context's inventory entry.
+type Context struct {
+	Name          string  `json:"name"`
+	HighValueFrac float64 `json:"highValueFrac"`
+	TileFrac      float64 `json:"tileFrac"`
+	Action        string  `json:"action"`
+}
+
+// Bundle is the serialized deployment artifact.
+type Bundle struct {
+	SchemaVersion int    `json:"schemaVersion"`
+	App           int    `json:"app"`
+	AppName       string `json:"appName"`
+	Target        string `json:"target"`
+	TilesPerSide  int    `json:"tilesPerSide"`
+	// DeadlineMs and CapacityFrac record the deployment environment the
+	// logic was optimized for.
+	DeadlineMs   float64   `json:"deadlineMs"`
+	CapacityFrac float64   `json:"capacityFrac"`
+	Contexts     []Context `json:"contexts"`
+	// ExpectedDVD and ExpectedFrameMs record the transformation step's
+	// estimates, for post-deployment comparison.
+	ExpectedDVD     float64 `json:"expectedDVD"`
+	ExpectedFrameMs float64 `json:"expectedFrameMs"`
+}
+
+// New assembles a bundle from transformation outputs.
+func New(appIndex int, appName string, target hw.Target, sel policy.Selection,
+	prof policy.TilingProfile, stats []ctxengine.Stats, deadline time.Duration,
+	capacityFrac float64, est policy.Estimate) (*Bundle, error) {
+	if len(sel.Actions) != len(prof.Contexts) || len(sel.Actions) != len(stats) {
+		return nil, fmt.Errorf("bundle: inconsistent context counts (%d actions, %d profiles, %d stats)",
+			len(sel.Actions), len(prof.Contexts), len(stats))
+	}
+	b := &Bundle{
+		SchemaVersion:   Version,
+		App:             appIndex,
+		AppName:         appName,
+		Target:          target.String(),
+		TilesPerSide:    sel.Tiling.PerSide,
+		DeadlineMs:      float64(deadline.Milliseconds()),
+		CapacityFrac:    capacityFrac,
+		ExpectedDVD:     est.DVD,
+		ExpectedFrameMs: float64(est.FrameTime.Milliseconds()),
+	}
+	for c, a := range sel.Actions {
+		b.Contexts = append(b.Contexts, Context{
+			Name:          stats[c].Name,
+			HighValueFrac: prof.Contexts[c].HighValueFrac,
+			TileFrac:      prof.Contexts[c].TileFrac,
+			Action:        a.String(),
+		})
+	}
+	return b, nil
+}
+
+// Selection reconstructs the policy selection from the bundle.
+func (b *Bundle) Selection() (policy.Selection, error) {
+	sel := policy.Selection{Tiling: tiling.Tiling{PerSide: b.TilesPerSide}}
+	if err := sel.Tiling.Validate(); err != nil {
+		return policy.Selection{}, err
+	}
+	for i, c := range b.Contexts {
+		a, err := parseAction(c.Action)
+		if err != nil {
+			return policy.Selection{}, fmt.Errorf("bundle: context %d: %w", i, err)
+		}
+		sel.Actions = append(sel.Actions, a)
+	}
+	return sel, nil
+}
+
+// parseAction inverts Action.String.
+func parseAction(s string) (policy.Action, error) {
+	for a := policy.Discard; a <= policy.Generic; a++ {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown action %q", s)
+}
+
+// Write serializes the bundle as indented JSON.
+func (b *Bundle) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Read parses a bundle and validates its schema.
+func Read(r io.Reader) (*Bundle, error) {
+	var b Bundle
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("bundle: %w", err)
+	}
+	if b.SchemaVersion != Version {
+		return nil, fmt.Errorf("bundle: schema version %d, want %d", b.SchemaVersion, Version)
+	}
+	if b.TilesPerSide <= 0 {
+		return nil, fmt.Errorf("bundle: bad tiling %d", b.TilesPerSide)
+	}
+	if len(b.Contexts) == 0 {
+		return nil, fmt.Errorf("bundle: no contexts")
+	}
+	for i, c := range b.Contexts {
+		if _, err := parseAction(c.Action); err != nil {
+			return nil, fmt.Errorf("bundle: context %d: %w", i, err)
+		}
+	}
+	return &b, nil
+}

@@ -1,0 +1,109 @@
+package bundle
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"kodan/internal/ctxengine"
+	"kodan/internal/hw"
+	"kodan/internal/imagery"
+	"kodan/internal/nn"
+	"kodan/internal/policy"
+	"kodan/internal/tiling"
+)
+
+func sampleInputs() (policy.Selection, policy.TilingProfile, []ctxengine.Stats, policy.Estimate) {
+	sel := policy.Selection{
+		Tiling:  tiling.Tiling{PerSide: 3},
+		Actions: []policy.Action{policy.Downlink, policy.Discard, policy.Specialized},
+	}
+	prof := policy.TilingProfile{
+		Tiling: sel.Tiling,
+		Contexts: []policy.ContextProfile{
+			{TileFrac: 0.3, HighValueFrac: 0.95, Special: nn.Confusion{TP: 90, FP: 5, TN: 4, FN: 1}},
+			{TileFrac: 0.4, HighValueFrac: 0.05},
+			{TileFrac: 0.3, HighValueFrac: 0.5},
+		},
+	}
+	stats := []ctxengine.Stats{
+		{Name: "desert/clear", DominantGeo: imagery.Desert, HighValueFrac: 0.95, Count: 30},
+		{Name: "ocean/overcast", DominantGeo: imagery.Ocean, HighValueFrac: 0.05, Count: 40},
+		{Name: "forest/mixed", DominantGeo: imagery.Forest, HighValueFrac: 0.5, Count: 30},
+	}
+	est := policy.Estimate{DVD: 0.93, FrameTime: 9 * time.Second}
+	return sel, prof, stats, est
+}
+
+func TestRoundTrip(t *testing.T) {
+	sel, prof, stats, est := sampleInputs()
+	b, err := New(4, "resnet50dilated-ppm-deepsup", hw.Orin15W, sel, prof, stats,
+		24*time.Second, 0.21, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Human-auditable JSON.
+	for _, want := range []string{"desert/clear", "downlink", "specialized", "Orin 15W"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("serialized bundle missing %q", want)
+		}
+	}
+
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel2, err := back.Selection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel2.Tiling != sel.Tiling || len(sel2.Actions) != len(sel.Actions) {
+		t.Fatal("selection shape changed")
+	}
+	for i := range sel.Actions {
+		if sel2.Actions[i] != sel.Actions[i] {
+			t.Fatalf("action %d: %v != %v", i, sel2.Actions[i], sel.Actions[i])
+		}
+	}
+	if back.ExpectedDVD != 0.93 || back.App != 4 {
+		t.Fatal("metadata lost")
+	}
+}
+
+func TestNewRejectsMismatch(t *testing.T) {
+	sel, prof, stats, est := sampleInputs()
+	sel.Actions = sel.Actions[:2]
+	if _, err := New(4, "x", hw.Orin15W, sel, prof, stats, time.Second, 0.2, est); err == nil {
+		t.Fatal("mismatched inputs accepted")
+	}
+}
+
+func TestReadRejectsBadBundles(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "{not json",
+		"wrong version": `{"schemaVersion":99,"tilesPerSide":3,"contexts":[{"action":"discard"}]}`,
+		"bad tiling":    `{"schemaVersion":1,"tilesPerSide":0,"contexts":[{"action":"discard"}]}`,
+		"no contexts":   `{"schemaVersion":1,"tilesPerSide":3,"contexts":[]}`,
+		"bad action":    `{"schemaVersion":1,"tilesPerSide":3,"contexts":[{"action":"explode"}]}`,
+		"unknown field": `{"schemaVersion":1,"tilesPerSide":3,"bogus":1,"contexts":[{"action":"discard"}]}`,
+	}
+	for name, raw := range cases {
+		if _, err := Read(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestParseActionCoversAll(t *testing.T) {
+	for a := policy.Discard; a <= policy.Generic; a++ {
+		got, err := parseAction(a.String())
+		if err != nil || got != a {
+			t.Errorf("round trip failed for %v", a)
+		}
+	}
+}

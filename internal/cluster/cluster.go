@@ -1,0 +1,463 @@
+// Package cluster implements the unsupervised learning used by Kodan's
+// automatic context generation (Section 3.2): k-means over tile label
+// vectors with pluggable distance metrics (Euclidean, Hamming, cosine),
+// label-vector transforms (standardization, covariance-driven whitening via
+// power iteration), silhouette scoring, and a sweep over cluster counts and
+// metrics that picks the best partition — the paper's "sweeps cluster count
+// and label vector distance metrics" step.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"kodan/internal/xrand"
+)
+
+// Metric identifies a distance function over label vectors.
+type Metric int
+
+// Supported metrics.
+const (
+	Euclidean Metric = iota
+	Cosine
+	Hamming
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case Euclidean:
+		return "euclidean"
+	case Cosine:
+		return "cosine"
+	case Hamming:
+		return "hamming"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// Distance returns the distance between a and b under the metric. Hamming
+// binarizes at 0.5, matching its use on fraction-valued label vectors.
+func (m Metric) Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("cluster: dimension mismatch")
+	}
+	switch m {
+	case Euclidean:
+		var sum float64
+		for i := range a {
+			d := a[i] - b[i]
+			sum += d * d
+		}
+		return math.Sqrt(sum)
+	case Cosine:
+		var dot, na, nb float64
+		for i := range a {
+			dot += a[i] * b[i]
+			na += a[i] * a[i]
+			nb += b[i] * b[i]
+		}
+		if na == 0 || nb == 0 {
+			return 1
+		}
+		return 1 - dot/math.Sqrt(na*nb)
+	case Hamming:
+		diff := 0
+		for i := range a {
+			if (a[i] >= 0.5) != (b[i] >= 0.5) {
+				diff++
+			}
+		}
+		return float64(diff)
+	default:
+		panic("cluster: unknown metric")
+	}
+}
+
+// Standardize shifts each dimension to zero mean and unit variance,
+// returning the transformed copies. Constant dimensions are left centered.
+func Standardize(vecs [][]float64) [][]float64 {
+	if len(vecs) == 0 {
+		return nil
+	}
+	dim := len(vecs[0])
+	mean := make([]float64, dim)
+	for _, v := range vecs {
+		for i, x := range v {
+			mean[i] += x
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(len(vecs))
+	}
+	std := make([]float64, dim)
+	for _, v := range vecs {
+		for i, x := range v {
+			d := x - mean[i]
+			std[i] += d * d
+		}
+	}
+	for i := range std {
+		std[i] = math.Sqrt(std[i] / float64(len(vecs)))
+		if std[i] < 1e-12 {
+			std[i] = 1
+		}
+	}
+	out := make([][]float64, len(vecs))
+	for j, v := range vecs {
+		w := make([]float64, dim)
+		for i, x := range v {
+			w[i] = (x - mean[i]) / std[i]
+		}
+		out[j] = w
+	}
+	return out
+}
+
+// PrincipalComponents returns the top-k principal directions of the data's
+// covariance, found by power iteration with deflation. Vectors should be
+// centered (e.g. via Standardize) first.
+func PrincipalComponents(vecs [][]float64, k int, rng *xrand.Rand) [][]float64 {
+	if len(vecs) == 0 || k <= 0 {
+		return nil
+	}
+	dim := len(vecs[0])
+	if k > dim {
+		k = dim
+	}
+	// Covariance matrix (dim x dim).
+	cov := make([][]float64, dim)
+	for i := range cov {
+		cov[i] = make([]float64, dim)
+	}
+	for _, v := range vecs {
+		for i := 0; i < dim; i++ {
+			for j := i; j < dim; j++ {
+				cov[i][j] += v[i] * v[j]
+			}
+		}
+	}
+	n := float64(len(vecs))
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			cov[i][j] /= n
+			cov[j][i] = cov[i][j]
+		}
+	}
+
+	comps := make([][]float64, 0, k)
+	for c := 0; c < k; c++ {
+		vec := make([]float64, dim)
+		for i := range vec {
+			vec[i] = rng.Norm(0, 1)
+		}
+		normalize(vec)
+		for iter := 0; iter < 100; iter++ {
+			next := matVec(cov, vec)
+			// Deflate previously found components.
+			for _, p := range comps {
+				d := dot(next, p)
+				for i := range next {
+					next[i] -= d * p[i]
+				}
+			}
+			if norm(next) < 1e-12 {
+				break
+			}
+			normalize(next)
+			if math.Abs(math.Abs(dot(next, vec))-1) < 1e-10 {
+				vec = next
+				break
+			}
+			vec = next
+		}
+		comps = append(comps, vec)
+	}
+	return comps
+}
+
+// Whiten rotates centered vectors onto their principal axes and scales
+// each axis to unit variance — the "projections based on per-dimension
+// covariance properties" of the paper's label-vector transform sweep.
+// Degenerate axes (near-zero variance) are left unscaled.
+func Whiten(vecs [][]float64, rng *xrand.Rand) [][]float64 {
+	if len(vecs) == 0 {
+		return nil
+	}
+	std := Standardize(vecs)
+	comps := PrincipalComponents(std, len(std[0]), rng)
+	proj := Project(std, comps)
+	dim := len(proj[0])
+	variance := make([]float64, dim)
+	for _, v := range proj {
+		for i, x := range v {
+			variance[i] += x * x
+		}
+	}
+	for i := range variance {
+		variance[i] /= float64(len(proj))
+	}
+	for _, v := range proj {
+		for i := range v {
+			if variance[i] > 1e-9 {
+				v[i] /= math.Sqrt(variance[i])
+			}
+		}
+	}
+	return proj
+}
+
+// Project maps each vector onto the given components.
+func Project(vecs, comps [][]float64) [][]float64 {
+	out := make([][]float64, len(vecs))
+	for i, v := range vecs {
+		p := make([]float64, len(comps))
+		for j, c := range comps {
+			p[j] = dot(v, c)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+func normalize(a []float64) {
+	n := norm(a)
+	if n == 0 {
+		return
+	}
+	for i := range a {
+		a[i] /= n
+	}
+}
+
+func matVec(m [][]float64, v []float64) []float64 {
+	out := make([]float64, len(m))
+	for i, row := range m {
+		out[i] = dot(row, v)
+	}
+	return out
+}
+
+// Result is a clustering of the input vectors.
+type Result struct {
+	// K is the cluster count.
+	K int
+	// Metric is the distance used.
+	Metric Metric
+	// Centroids holds K centroid vectors.
+	Centroids [][]float64
+	// Assign maps each input vector to its cluster in [0, K).
+	Assign []int
+	// Inertia is the sum of distances from vectors to their centroids.
+	Inertia float64
+}
+
+// Sizes returns the number of members per cluster.
+func (r *Result) Sizes() []int {
+	sizes := make([]int, r.K)
+	for _, a := range r.Assign {
+		sizes[a]++
+	}
+	return sizes
+}
+
+// Classify returns the nearest centroid for v.
+func (r *Result) Classify(v []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for i, c := range r.Centroids {
+		if d := r.Metric.Distance(v, c); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// KMeans clusters vecs into k groups under the metric, using k-means++
+// seeding and Lloyd iterations until assignment fixpoint (or 100 rounds).
+// Centroid updates use the coordinate mean, which is the exact minimizer
+// for Euclidean distance and a standard approximation for the others.
+func KMeans(vecs [][]float64, k int, metric Metric, rng *xrand.Rand) *Result {
+	if k <= 0 {
+		panic("cluster: non-positive k")
+	}
+	if len(vecs) == 0 {
+		return &Result{K: k, Metric: metric, Centroids: make([][]float64, 0)}
+	}
+	if k > len(vecs) {
+		k = len(vecs)
+	}
+	dim := len(vecs[0])
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(len(vecs))
+	centroids = append(centroids, clone(vecs[first]))
+	dists := make([]float64, len(vecs))
+	for len(centroids) < k {
+		var total float64
+		for i, v := range vecs {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := metric.Distance(v, c); dd < d {
+					d = dd
+				}
+			}
+			dists[i] = d * d
+			total += dists[i]
+		}
+		if total == 0 {
+			// All points coincide with centroids; duplicate one.
+			centroids = append(centroids, clone(vecs[rng.Intn(len(vecs))]))
+			continue
+		}
+		centroids = append(centroids, clone(vecs[rng.Choice(dists)]))
+	}
+
+	assign := make([]int, len(vecs))
+	for i := range assign {
+		assign[i] = -1
+	}
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i, v := range vecs {
+			best, bestD := 0, math.Inf(1)
+			for j, c := range centroids {
+				if d := metric.Distance(v, c); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute centroids as coordinate means.
+		counts := make([]int, k)
+		for j := range centroids {
+			centroids[j] = make([]float64, dim)
+		}
+		for i, v := range vecs {
+			counts[assign[i]]++
+			for d2, x := range v {
+				centroids[assign[i]][d2] += x
+			}
+		}
+		for j := range centroids {
+			if counts[j] == 0 {
+				// Re-seed empty cluster at the farthest point.
+				far, farD := 0, -1.0
+				for i, v := range vecs {
+					if d := metric.Distance(v, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				centroids[j] = clone(vecs[far])
+				continue
+			}
+			for d2 := range centroids[j] {
+				centroids[j][d2] /= float64(counts[j])
+			}
+		}
+	}
+
+	res := &Result{K: k, Metric: metric, Centroids: centroids, Assign: assign}
+	for i, v := range vecs {
+		res.Inertia += metric.Distance(v, centroids[assign[i]])
+	}
+	return res
+}
+
+func clone(v []float64) []float64 {
+	w := make([]float64, len(v))
+	copy(w, v)
+	return w
+}
+
+// Silhouette returns the mean silhouette coefficient of the clustering in
+// [-1, 1]; higher is better-separated. Computed exactly, O(n^2) — intended
+// for the representative-dataset scale (hundreds to thousands of tiles).
+func Silhouette(vecs [][]float64, r *Result) float64 {
+	n := len(vecs)
+	if n == 0 || r.K < 2 {
+		return 0
+	}
+	sizes := r.Sizes()
+	var total float64
+	counted := 0
+	for i, v := range vecs {
+		own := r.Assign[i]
+		if sizes[own] < 2 {
+			continue
+		}
+		// Mean distance to each cluster.
+		sums := make([]float64, r.K)
+		for j, w := range vecs {
+			if i == j {
+				continue
+			}
+			sums[r.Assign[j]] += r.Metric.Distance(v, w)
+		}
+		a := sums[own] / float64(sizes[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < r.K; c++ {
+			if c == own || sizes[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(sizes[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// SweepOption is one (k, metric) candidate with its fitted result and
+// silhouette score.
+type SweepOption struct {
+	Result     *Result
+	Silhouette float64
+}
+
+// Sweep fits k-means for every combination of the candidate cluster counts
+// and metrics and returns all options plus the index of the best by
+// silhouette (ties to lower k, matching the simplest adequate partition).
+func Sweep(vecs [][]float64, ks []int, metrics []Metric, rng *xrand.Rand) (options []SweepOption, best int) {
+	best = -1
+	for _, m := range metrics {
+		for _, k := range ks {
+			r := KMeans(vecs, k, m, rng.Split())
+			s := Silhouette(vecs, r)
+			options = append(options, SweepOption{Result: r, Silhouette: s})
+			if best == -1 || s > options[best].Silhouette+1e-12 {
+				best = len(options) - 1
+			}
+		}
+	}
+	return options, best
+}

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kodan/internal/xrand"
+)
+
+// blobs generates n points around each of the given centers with the given
+// spread.
+func blobs(centers [][]float64, n int, spread float64, rng *xrand.Rand) ([][]float64, []int) {
+	var vecs [][]float64
+	var labels []int
+	for ci, c := range centers {
+		for i := 0; i < n; i++ {
+			v := make([]float64, len(c))
+			for d := range v {
+				v[d] = c[d] + rng.Norm(0, spread)
+			}
+			vecs = append(vecs, v)
+			labels = append(labels, ci)
+		}
+	}
+	return vecs, labels
+}
+
+func TestMetricsBasic(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if d := Euclidean.Distance(a, b); d != 5 {
+		t.Errorf("euclidean = %v", d)
+	}
+	if d := Hamming.Distance([]float64{0.9, 0.1, 0.7}, []float64{0.8, 0.9, 0.2}); d != 2 {
+		t.Errorf("hamming = %v", d)
+	}
+	// Cosine: parallel -> 0, orthogonal -> 1.
+	if d := Cosine.Distance([]float64{1, 0}, []float64{5, 0}); math.Abs(d) > 1e-12 {
+		t.Errorf("cosine parallel = %v", d)
+	}
+	if d := Cosine.Distance([]float64{1, 0}, []float64{0, 2}); math.Abs(d-1) > 1e-12 {
+		t.Errorf("cosine orthogonal = %v", d)
+	}
+}
+
+func TestMetricProperties(t *testing.T) {
+	if err := quick.Check(func(ax, ay, bx, by int8) bool {
+		a := []float64{float64(ax) / 10, float64(ay) / 10}
+		b := []float64{float64(bx) / 10, float64(by) / 10}
+		for _, m := range []Metric{Euclidean, Cosine, Hamming} {
+			if m.Distance(a, b) < 0 {
+				return false
+			}
+			if math.Abs(m.Distance(a, b)-m.Distance(b, a)) > 1e-12 {
+				return false
+			}
+			if m.Distance(a, a) > 1e-12 && m != Cosine {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	rng := xrand.New(4)
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	vecs, labels := blobs(centers, 60, 0.5, rng)
+	r := KMeans(vecs, 3, Euclidean, rng)
+	// Every true cluster must map to a single k-means cluster.
+	for ci := 0; ci < 3; ci++ {
+		counts := map[int]int{}
+		for i, l := range labels {
+			if l == ci {
+				counts[r.Assign[i]]++
+			}
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		if float64(best)/60 < 0.98 {
+			t.Fatalf("cluster %d split: %v", ci, counts)
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	vecs, _ := blobs([][]float64{{0, 0}, {5, 5}}, 50, 0.4, xrand.New(2))
+	a := KMeans(vecs, 2, Euclidean, xrand.New(9))
+	b := KMeans(vecs, 2, Euclidean, xrand.New(9))
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("non-deterministic assignment")
+		}
+	}
+}
+
+func TestKMeansClassifyMatchesAssign(t *testing.T) {
+	rng := xrand.New(6)
+	vecs, _ := blobs([][]float64{{0, 0}, {8, 8}}, 40, 0.3, rng)
+	r := KMeans(vecs, 2, Euclidean, rng)
+	for i, v := range vecs {
+		if got := r.Classify(v); got != r.Assign[i] {
+			t.Fatalf("classify(%d) = %d, assign = %d", i, got, r.Assign[i])
+		}
+	}
+}
+
+func TestKMeansSizesSumToN(t *testing.T) {
+	if err := quick.Check(func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		rng := xrand.New(seed)
+		vecs, _ := blobs([][]float64{{0, 0}, {4, 4}, {8, 0}}, 20, 1.0, rng)
+		r := KMeans(vecs, k, Euclidean, rng)
+		total := 0
+		for _, s := range r.Sizes() {
+			total += s
+		}
+		return total == len(vecs)
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMeansMoreClustersLowerInertia(t *testing.T) {
+	rng := xrand.New(8)
+	vecs, _ := blobs([][]float64{{0, 0}, {6, 6}, {12, 0}, {6, -6}}, 40, 1.2, rng)
+	i2 := KMeans(vecs, 2, Euclidean, xrand.New(1)).Inertia
+	i4 := KMeans(vecs, 4, Euclidean, xrand.New(1)).Inertia
+	i8 := KMeans(vecs, 8, Euclidean, xrand.New(1)).Inertia
+	if !(i4 < i2 && i8 < i4) {
+		t.Fatalf("inertia not decreasing: k2=%.1f k4=%.1f k8=%.1f", i2, i4, i8)
+	}
+}
+
+func TestSilhouettePrefersTrueK(t *testing.T) {
+	rng := xrand.New(12)
+	vecs, _ := blobs([][]float64{{0, 0}, {10, 0}, {0, 10}}, 40, 0.5, rng)
+	s3 := Silhouette(vecs, KMeans(vecs, 3, Euclidean, xrand.New(3)))
+	s2 := Silhouette(vecs, KMeans(vecs, 2, Euclidean, xrand.New(3)))
+	s6 := Silhouette(vecs, KMeans(vecs, 6, Euclidean, xrand.New(3)))
+	if !(s3 > s2 && s3 > s6) {
+		t.Fatalf("silhouette did not peak at true k: s2=%.3f s3=%.3f s6=%.3f", s2, s3, s6)
+	}
+}
+
+func TestSweepPicksGoodOption(t *testing.T) {
+	rng := xrand.New(20)
+	vecs, _ := blobs([][]float64{{0, 0}, {10, 0}, {0, 10}, {10, 10}}, 30, 0.3, rng)
+	options, best := Sweep(vecs, []int{2, 3, 4, 5}, []Metric{Euclidean, Cosine}, rng)
+	if len(options) != 8 {
+		t.Fatalf("options = %d", len(options))
+	}
+	if best < 0 || best >= len(options) {
+		t.Fatalf("best index %d", best)
+	}
+	if options[best].Result.K != 4 {
+		t.Fatalf("best k = %d, want 4", options[best].Result.K)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	vecs := [][]float64{{1, 100}, {2, 200}, {3, 300}}
+	std := Standardize(vecs)
+	for d := 0; d < 2; d++ {
+		var mean, variance float64
+		for _, v := range std {
+			mean += v[d]
+		}
+		mean /= 3
+		for _, v := range std {
+			variance += (v[d] - mean) * (v[d] - mean)
+		}
+		variance /= 3
+		if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-9 {
+			t.Fatalf("dim %d: mean %.4f var %.4f", d, mean, variance)
+		}
+	}
+	// Originals untouched.
+	if vecs[0][0] != 1 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPrincipalComponents(t *testing.T) {
+	// Data varying almost entirely along (1,1)/sqrt(2).
+	rng := xrand.New(33)
+	var vecs [][]float64
+	for i := 0; i < 400; i++ {
+		tt := rng.Norm(0, 3)
+		vecs = append(vecs, []float64{tt + rng.Norm(0, 0.1), tt + rng.Norm(0, 0.1)})
+	}
+	comps := PrincipalComponents(vecs, 2, rng)
+	if len(comps) != 2 {
+		t.Fatalf("components = %d", len(comps))
+	}
+	want := 1 / math.Sqrt(2)
+	c := comps[0]
+	if math.Abs(math.Abs(c[0])-want) > 0.05 || math.Abs(math.Abs(c[1])-want) > 0.05 {
+		t.Fatalf("first component %v, want ~(%.3f, %.3f)", c, want, want)
+	}
+	// Orthogonality.
+	if d := math.Abs(c[0]*comps[1][0] + c[1]*comps[1][1]); d > 1e-6 {
+		t.Fatalf("components not orthogonal: dot = %v", d)
+	}
+}
+
+func TestProjectShape(t *testing.T) {
+	vecs := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	comps := [][]float64{{1, 0, 0}, {0, 1, 0}}
+	p := Project(vecs, comps)
+	if len(p) != 2 || len(p[0]) != 2 {
+		t.Fatalf("projection shape %dx%d", len(p), len(p[0]))
+	}
+	if p[0][0] != 1 || p[0][1] != 2 || p[1][0] != 4 {
+		t.Fatalf("projection values %v", p)
+	}
+}
+
+func TestKMeansPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	KMeans([][]float64{{1}}, 0, Euclidean, xrand.New(1))
+}
+
+func TestKMeansKLargerThanN(t *testing.T) {
+	vecs := [][]float64{{0}, {1}}
+	r := KMeans(vecs, 10, Euclidean, xrand.New(1))
+	if r.K != 2 {
+		t.Fatalf("k clamped to %d, want 2", r.K)
+	}
+}
+
+func TestWhitenNormalizesVariance(t *testing.T) {
+	// Strongly correlated, badly scaled data: whitening must produce
+	// near-unit variance along every axis and near-zero cross-correlation.
+	rng := xrand.New(44)
+	var vecs [][]float64
+	for i := 0; i < 500; i++ {
+		tt := rng.Norm(0, 5)
+		vecs = append(vecs, []float64{tt*100 + rng.Norm(0, 10), tt + rng.Norm(0, 0.1)})
+	}
+	w := Whiten(vecs, rng)
+	dim := len(w[0])
+	for d := 0; d < dim; d++ {
+		var sum, sumSq float64
+		for _, v := range w {
+			sum += v[d]
+			sumSq += v[d] * v[d]
+		}
+		mean := sum / float64(len(w))
+		variance := sumSq/float64(len(w)) - mean*mean
+		if math.Abs(variance-1) > 0.05 {
+			t.Fatalf("axis %d variance = %.3f", d, variance)
+		}
+	}
+	var cross float64
+	for _, v := range w {
+		cross += v[0] * v[1]
+	}
+	cross /= float64(len(w))
+	if math.Abs(cross) > 0.1 {
+		t.Fatalf("whitened axes correlated: %.3f", cross)
+	}
+}
+
+func TestWhitenEmpty(t *testing.T) {
+	if Whiten(nil, xrand.New(1)) != nil {
+		t.Fatal("whiten of nil not nil")
+	}
+}

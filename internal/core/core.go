@@ -1,0 +1,254 @@
+// Package core orchestrates Kodan's one-time transformation step
+// (Figure 7, left): from a representative dataset and a reference
+// application to deployable artifacts — geospatial contexts, a context
+// engine, per-context specialized models at every candidate tiling,
+// measured quality profiles, and the selection logic for a target
+// deployment. It also wires the resulting artifacts into the on-orbit
+// runtime of internal/deploy.
+//
+// A Workspace holds everything application-independent (datasets at each
+// candidate tiling and the context engine) so that transforming all seven
+// applications shares one rendering and clustering pass, exactly as the
+// paper's pipeline shares its dataset across applications.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"kodan/internal/app"
+	"kodan/internal/ctxengine"
+	"kodan/internal/dataset"
+	"kodan/internal/deploy"
+	"kodan/internal/hw"
+	"kodan/internal/policy"
+	"kodan/internal/tiling"
+	"kodan/internal/xrand"
+)
+
+// Config sizes the transformation step.
+type Config struct {
+	// Seed drives every stochastic stage.
+	Seed uint64
+	// Frames is the representative dataset size in frames.
+	Frames int
+	// TileRes is the rendered tile resolution.
+	TileRes int
+	// Tilings are the candidate tile layouts to sweep.
+	Tilings []tiling.Tiling
+	// ValFrac is the validation split fraction.
+	ValFrac float64
+	// PixelsPerFrame is the per-frame training pixel budget, divided among
+	// the frame's tiles (keeps per-model training cost independent of
+	// tiling).
+	PixelsPerFrame int
+	// EvalPixelsPerFrame is the per-frame validation pixel budget.
+	EvalPixelsPerFrame int
+	// Context configures context generation.
+	Context ctxengine.Config
+	// Augment enables flip augmentation during model training.
+	Augment bool
+}
+
+// DefaultConfig returns the reproduction's standard transformation sizing.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:               seed,
+		Frames:             120,
+		TileRes:            20,
+		Tilings:            tiling.PaperTilings(),
+		ValFrac:            0.25,
+		PixelsPerFrame:     360,
+		EvalPixelsPerFrame: 720,
+		Context:            ctxengine.DefaultConfig(),
+		Augment:            false,
+	}
+}
+
+// split holds one tiling's train/validation datasets.
+type split struct {
+	train, val *dataset.Dataset
+}
+
+// Workspace holds the application-independent transformation state.
+type Workspace struct {
+	Cfg Config
+	// Ctx is the context partition and engine, built once on the coarsest
+	// tiling's training split.
+	Ctx *ctxengine.Set
+	// data maps tiles-per-side to that tiling's datasets.
+	data map[int]split
+}
+
+// NewWorkspace renders the datasets for every candidate tiling and builds
+// the contexts and context engine.
+func NewWorkspace(cfg Config) (*Workspace, error) {
+	if len(cfg.Tilings) == 0 {
+		return nil, fmt.Errorf("core: no candidate tilings")
+	}
+	w := &Workspace{Cfg: cfg, data: make(map[int]split)}
+	for _, tl := range cfg.Tilings {
+		dcfg := dataset.DefaultConfig(cfg.Seed, tl)
+		dcfg.Frames = cfg.Frames
+		dcfg.TileRes = cfg.TileRes
+		ds, err := dataset.Generate(dcfg)
+		if err != nil {
+			return nil, err
+		}
+		rng := xrand.New(cfg.Seed ^ 0x5eed5011)
+		train, val := ds.Split(cfg.ValFrac, rng)
+		w.data[tl.PerSide] = split{train: train, val: val}
+	}
+
+	// Contexts from the coarsest tiling (largest tiles, richest label
+	// vectors); the engine classifies tiles of any size thereafter.
+	coarsest := cfg.Tilings[0]
+	for _, tl := range cfg.Tilings[1:] {
+		if tl.PerSide < coarsest.PerSide {
+			coarsest = tl
+		}
+	}
+	ctx, err := ctxengine.Build(w.data[coarsest.PerSide].train, cfg.Context, xrand.New(cfg.Seed^0xc0e1))
+	if err != nil {
+		return nil, err
+	}
+	w.Ctx = ctx
+	return w, nil
+}
+
+// Data returns the train/validation datasets of one tiling.
+func (w *Workspace) Data(tl tiling.Tiling) (train, val *dataset.Dataset, err error) {
+	s, ok := w.data[tl.PerSide]
+	if !ok {
+		return nil, nil, fmt.Errorf("core: tiling %v not in workspace", tl)
+	}
+	return s.train, s.val, nil
+}
+
+// Artifacts is the transformation output for one application.
+type Artifacts struct {
+	Arch app.Architecture
+	Ctx  *ctxengine.Set
+	// Suites maps tiles-per-side to the trained model suite.
+	Suites map[int]*app.Suite
+	// Profiles holds the measured per-tiling profiles the selection-logic
+	// sweep consumes, in workspace tiling order.
+	Profiles []policy.TilingProfile
+}
+
+// TransformApp trains and measures one application across every candidate
+// tiling in the workspace.
+func (w *Workspace) TransformApp(arch app.Architecture) (*Artifacts, error) {
+	art := &Artifacts{Arch: arch, Ctx: w.Ctx, Suites: make(map[int]*app.Suite)}
+	for _, tl := range w.Cfg.Tilings {
+		s := w.data[tl.PerSide]
+		opts := app.DefaultTrainOptions()
+		opts.Augment = w.Cfg.Augment
+		opts.PixelsPerTile = perTileBudget(w.Cfg.PixelsPerFrame, tl)
+		opts.EvalPixelsPerTile = perTileBudget(w.Cfg.EvalPixelsPerFrame, tl)
+		rng := xrand.New(w.Cfg.Seed ^ uint64(arch.Index)<<32 ^ uint64(tl.PerSide))
+		suite := app.BuildSuite(arch, tl, s.train, s.val, w.Ctx, opts, rng)
+		art.Suites[tl.PerSide] = suite
+		art.Profiles = append(art.Profiles, w.profile(tl, suite))
+	}
+	return art, nil
+}
+
+// perTileBudget divides a per-frame pixel budget among tiles with a floor.
+func perTileBudget(perFrame int, tl tiling.Tiling) int {
+	n := perFrame / tl.Tiles()
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// profile assembles the policy-facing profile of one tiling from the
+// engine partition of its training data and the suite's measured quality.
+func (w *Workspace) profile(tl tiling.Tiling, suite *app.Suite) policy.TilingProfile {
+	s := w.data[tl.PerSide]
+	labels := w.Ctx.LabelAll(s.train)
+	k := w.Ctx.K
+	counts := make([]int, k)
+	hv := make([]float64, k)
+	px := make([]float64, k)
+	for i, smp := range s.train.Samples {
+		c := labels[i]
+		counts[c]++
+		hv[c] += smp.Tile.HighValueFrac() * float64(smp.Tile.Pixels())
+		px[c] += float64(smp.Tile.Pixels())
+	}
+	tp := policy.TilingProfile{Tiling: tl, Contexts: make([]policy.ContextProfile, k)}
+	total := float64(s.train.Len())
+	for c := 0; c < k; c++ {
+		cp := policy.ContextProfile{
+			TileFrac: float64(counts[c]) / total,
+			Generic:  suite.Quality.Generic[c],
+			Special:  suite.Quality.Special[c],
+			Merged:   suite.Quality.Merged[c],
+		}
+		if px[c] > 0 {
+			cp.HighValueFrac = hv[c] / px[c]
+		}
+		tp.Contexts[c] = cp
+	}
+	return tp
+}
+
+// Deployment describes a target satellite deployment for selection-logic
+// generation.
+type Deployment struct {
+	// Target is the hardware platform.
+	Target hw.Target
+	// Deadline is the frame deadline from the orbit and grid.
+	Deadline time.Duration
+	// CapacityFrac is downlink capacity per observed frame as a fraction
+	// of frame size.
+	CapacityFrac float64
+	// FillIdle pads an under-filled link with raw frames.
+	FillIdle bool
+}
+
+// Env converts a deployment into a policy environment for an application.
+func (d Deployment) Env(arch app.Architecture) policy.Env {
+	return policy.Env{
+		App:          arch,
+		Target:       d.Target,
+		Deadline:     d.Deadline,
+		CapacityFrac: d.CapacityFrac,
+		FillIdle:     d.FillIdle,
+		UseEngine:    true,
+	}
+}
+
+// SelectionLogic generates the deployment's selection logic by sweeping
+// tilings and per-context actions (Section 3.4).
+func (a *Artifacts) SelectionLogic(d Deployment) (policy.Selection, policy.Estimate) {
+	return policy.Optimize(a.Profiles, d.Env(a.Arch))
+}
+
+// Runtime wires the artifacts and a generated selection into the on-orbit
+// runtime. frameBits is the raw downlink size of one frame.
+func (a *Artifacts) Runtime(sel policy.Selection, target hw.Target, frameBits float64) (*deploy.Runtime, error) {
+	suite, ok := a.Suites[sel.Tiling.PerSide]
+	if !ok {
+		return nil, fmt.Errorf("core: no suite for tiling %v", sel.Tiling)
+	}
+	return &deploy.Runtime{
+		Engine:   a.Ctx,
+		Suite:    suite,
+		Logic:    sel,
+		Target:   target,
+		TileBits: frameBits / float64(sel.Tiling.Tiles()),
+	}, nil
+}
+
+// Profile returns the measured profile of one tiling.
+func (a *Artifacts) Profile(tl tiling.Tiling) (policy.TilingProfile, error) {
+	for _, p := range a.Profiles {
+		if p.Tiling.PerSide == tl.PerSide {
+			return p, nil
+		}
+	}
+	return policy.TilingProfile{}, fmt.Errorf("core: tiling %v not profiled", tl)
+}

@@ -1,0 +1,198 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"kodan/internal/imagery"
+	"kodan/internal/tiling"
+	"kodan/internal/xrand"
+)
+
+func smallConfig(t tiling.Tiling) Config {
+	cfg := DefaultConfig(2023, t)
+	cfg.Frames = 60
+	cfg.TileRes = 16
+	return cfg
+}
+
+func TestGenerateCounts(t *testing.T) {
+	cfg := smallConfig(tiling.Tiling{PerSide: 3})
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 60*9 {
+		t.Fatalf("samples = %d, want 540", ds.Len())
+	}
+	frames := map[int]int{}
+	for _, s := range ds.Samples {
+		frames[s.Frame]++
+	}
+	if len(frames) != 60 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	for f, n := range frames {
+		if n != 9 {
+			t.Fatalf("frame %d has %d tiles", f, n)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig(tiling.Tiling{PerSide: 3})
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(cfg)
+	for i := range a.Samples {
+		if a.Samples[i].Tile.CloudFrac != b.Samples[i].Tile.CloudFrac {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestCloudFracNearSentinel(t *testing.T) {
+	ds, err := Generate(DefaultConfig(2023, tiling.Tiling{PerSide: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper's dataset: 52% cloudy. Accept a band.
+	if f := ds.CloudFrac(); f < 0.42 || f > 0.62 {
+		t.Fatalf("cloud fraction = %.3f", f)
+	}
+}
+
+func TestValidationRejectsBadConfig(t *testing.T) {
+	bad := DefaultConfig(1, tiling.Tiling{PerSide: 3})
+	bad.Frames = 0
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("zero frames accepted")
+	}
+	bad = DefaultConfig(1, tiling.Tiling{PerSide: 0})
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("bad tiling accepted")
+	}
+	bad = DefaultConfig(1, tiling.Tiling{PerSide: 3})
+	bad.TileRes = 1
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("1px tiles accepted")
+	}
+}
+
+func TestSplitByFrame(t *testing.T) {
+	ds, err := Generate(smallConfig(tiling.Tiling{PerSide: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val := ds.Split(0.25, xrand.New(1))
+	if train.Len()+val.Len() != ds.Len() {
+		t.Fatalf("split lost samples: %d + %d != %d", train.Len(), val.Len(), ds.Len())
+	}
+	// No frame straddles the split.
+	trainFrames := map[int]bool{}
+	for _, s := range train.Samples {
+		trainFrames[s.Frame] = true
+	}
+	for _, s := range val.Samples {
+		if trainFrames[s.Frame] {
+			t.Fatalf("frame %d in both splits", s.Frame)
+		}
+	}
+	// Roughly a quarter of frames in validation.
+	valFrames := map[int]bool{}
+	for _, s := range val.Samples {
+		valFrames[s.Frame] = true
+	}
+	if n := len(valFrames); n < 10 || n > 20 {
+		t.Fatalf("validation frames = %d of 60", n)
+	}
+}
+
+func TestSplitPanicsOnBadFrac(t *testing.T) {
+	ds, _ := Generate(smallConfig(tiling.Tiling{PerSide: 3}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ds.Split(1.0, xrand.New(1))
+}
+
+func TestLabelVectors(t *testing.T) {
+	ds, _ := Generate(smallConfig(tiling.Tiling{PerSide: 3}))
+	lvs := ds.LabelVectors()
+	if len(lvs) != ds.Len() {
+		t.Fatalf("label vectors = %d", len(lvs))
+	}
+	for _, lv := range lvs {
+		if len(lv) != int(imagery.NumGeoClasses)+1 {
+			t.Fatalf("label vector dim = %d", len(lv))
+		}
+	}
+}
+
+func TestAugmentTriples(t *testing.T) {
+	ds, _ := Generate(smallConfig(tiling.Tiling{PerSide: 3}))
+	aug := ds.Augment()
+	if aug.Len() != 3*ds.Len() {
+		t.Fatalf("augmented = %d, want %d", aug.Len(), 3*ds.Len())
+	}
+	// Flips preserve aggregate statistics.
+	if math.Abs(aug.CloudFrac()-ds.CloudFrac()) > 1e-12 {
+		t.Fatal("augmentation changed cloud fraction")
+	}
+}
+
+func TestFlipTileGeometry(t *testing.T) {
+	w := imagery.NewWorld(5)
+	tl := w.RenderTile(imagery.Region{LonDeg: 0, LatDeg: 10, SizeDeg: 1}, 8, 0)
+	h := flipTile(tl, true, false)
+	// Horizontal flip: row i reversed.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if h.Truth[i*8+j] != tl.Truth[i*8+(7-j)] {
+				t.Fatal("horizontal flip wrong")
+			}
+		}
+	}
+	v := flipTile(tl, false, true)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if v.Features[0][i*8+j] != tl.Features[0][(7-i)*8+j] {
+				t.Fatal("vertical flip wrong")
+			}
+		}
+	}
+	// Double flip is identity.
+	hh := flipTile(h, true, false)
+	for p := range tl.Truth {
+		if hh.Truth[p] != tl.Truth[p] {
+			t.Fatal("double flip not identity")
+		}
+	}
+}
+
+func TestCoarserTilingFewerPurerTiles(t *testing.T) {
+	// Finer tilings yield more near-pure tiles (smaller tiles sit inside
+	// weather systems); this is the geometric driver of both elision and
+	// tiling-precision effects.
+	pure := func(perSide int) float64 {
+		ds, err := Generate(smallConfig(tiling.Tiling{PerSide: perSide}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, s := range ds.Samples {
+			if s.Tile.CloudFrac < 0.05 || s.Tile.CloudFrac > 0.95 {
+				n++
+			}
+		}
+		return float64(n) / float64(ds.Len())
+	}
+	coarse, fine := pure(3), pure(11)
+	if fine <= coarse {
+		t.Fatalf("pure-tile fraction: 9-tile %.3f, 121-tile %.3f — want fine > coarse", coarse, fine)
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+	"time"
+)
+
+// WriteCSV serializes a slice of experiment row structs as CSV with a
+// header derived from the struct's field names. Supported field kinds:
+// string, ints, floats, bools, time.Duration (seconds), and fmt.Stringer
+// values (rendered via String). The figure drivers all return such slices,
+// so any figure can be exported for external plotting.
+func WriteCSV(w io.Writer, rows interface{}) error {
+	v := reflect.ValueOf(rows)
+	if v.Kind() != reflect.Slice {
+		return fmt.Errorf("experiments: WriteCSV wants a slice, got %T", rows)
+	}
+	if v.Len() == 0 {
+		return fmt.Errorf("experiments: no rows to write")
+	}
+	elemT := v.Index(0).Type()
+	if elemT.Kind() != reflect.Struct {
+		return fmt.Errorf("experiments: WriteCSV wants a slice of structs, got %s", elemT)
+	}
+
+	cw := csv.NewWriter(w)
+	header := make([]string, elemT.NumField())
+	for i := 0; i < elemT.NumField(); i++ {
+		header[i] = elemT.Field(i).Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for r := 0; r < v.Len(); r++ {
+		row := v.Index(r)
+		rec := make([]string, elemT.NumField())
+		for i := 0; i < elemT.NumField(); i++ {
+			cell, err := formatCell(row.Field(i))
+			if err != nil {
+				return fmt.Errorf("experiments: row %d field %s: %w", r, header[i], err)
+			}
+			rec[i] = cell
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatCell renders one struct field.
+func formatCell(f reflect.Value) (string, error) {
+	// Durations render as seconds for plotting.
+	if f.Type() == reflect.TypeOf(time.Duration(0)) {
+		return strconv.FormatFloat(time.Duration(f.Int()).Seconds(), 'f', 3, 64), nil
+	}
+	if f.CanInterface() {
+		if s, ok := f.Interface().(fmt.Stringer); ok {
+			return s.String(), nil
+		}
+	}
+	switch f.Kind() {
+	case reflect.String:
+		return f.String(), nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return strconv.FormatInt(f.Int(), 10), nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return strconv.FormatUint(f.Uint(), 10), nil
+	case reflect.Float32, reflect.Float64:
+		return strconv.FormatFloat(f.Float(), 'f', 6, 64), nil
+	case reflect.Bool:
+		return strconv.FormatBool(f.Bool()), nil
+	default:
+		return "", fmt.Errorf("unsupported field kind %s", f.Kind())
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"kodan/internal/hw"
+)
+
+func TestWriteCSVFig8Rows(t *testing.T) {
+	rows := []Fig8Row{
+		{Target: hw.Orin15W, App: 1, BentDVD: 0.48, DirectDVD: 0.52, KodanDVD: 0.95},
+		{Target: hw.GTX1070Ti, App: 2, BentDVD: 0.48, DirectDVD: 0.7, KodanDVD: 0.96},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0][0] != "Target" || recs[0][4] != "KodanDVD" {
+		t.Fatalf("header = %v", recs[0])
+	}
+	if recs[1][0] != "Orin 15W" || recs[2][0] != "1070 Ti" {
+		t.Fatalf("stringer column = %v, %v", recs[1][0], recs[2][0])
+	}
+	if !strings.HasPrefix(recs[1][4], "0.95") {
+		t.Fatalf("float column = %v", recs[1][4])
+	}
+}
+
+func TestWriteCSVDurations(t *testing.T) {
+	rows := []Fig9Row{{
+		Target: hw.Orin15W, App: 7,
+		DirectTime: 247 * time.Second,
+		KodanTime:  12*time.Second + 900*time.Millisecond,
+		Deadline:   24 * time.Second,
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := csv.NewReader(&buf).ReadAll()
+	if recs[1][2] != "247.000" || recs[1][3] != "12.900" {
+		t.Fatalf("duration cells = %v", recs[1])
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, 42); err == nil {
+		t.Fatal("non-slice accepted")
+	}
+	if err := WriteCSV(&buf, []Fig8Row{}); err == nil {
+		t.Fatal("empty slice accepted")
+	}
+	if err := WriteCSV(&buf, []int{1, 2}); err == nil {
+		t.Fatal("non-struct slice accepted")
+	}
+}

@@ -1,0 +1,169 @@
+// Package fleet models platform constellations serving multiple customer
+// applications — the "constellation-as-a-service" future the paper argues
+// Kodan enables (Sections 2.1.3 and 7). Prior OEC work dedicates a
+// vertically-integrated constellation to one application; a platform
+// instead wants every satellite to serve every customer. The package
+// compares the two operating strategies analytically:
+//
+//   - Dedicated: satellites are partitioned among applications; each group
+//     runs one application continuously (prior work's model).
+//   - Shared: every satellite time-slices all applications by
+//     frame-interleaving — application i processes every A-th frame, so
+//     its effective frame deadline stretches by A while its observation
+//     share shrinks to 1/A.
+//
+// Under Kodan the shared platform retains almost all of the dedicated
+// strategy's value while covering every application on every ground track;
+// under direct deployment, sharing multiplies the computational bottleneck
+// and value collapses. The tests quantify both claims.
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"kodan/internal/app"
+	"kodan/internal/hw"
+	"kodan/internal/policy"
+)
+
+// AppSpec is one customer application: its architecture and measured
+// tiling profiles (from the one-time transformation).
+type AppSpec struct {
+	Arch     app.Architecture
+	Profiles []policy.TilingProfile
+}
+
+// Config describes the platform.
+type Config struct {
+	// Sats is the constellation population.
+	Sats int
+	// Target is the per-satellite compute hardware.
+	Target hw.Target
+	// Deadline is the single-application frame deadline.
+	Deadline time.Duration
+	// CapacityFrac is each satellite's downlink capacity per observed
+	// frame as a fraction of frame size.
+	CapacityFrac float64
+	// Kodan selects per-app selection logics; false runs each app's
+	// reference model directly (prior work).
+	Kodan bool
+}
+
+// validate rejects unusable configurations.
+func (c Config) validate(nApps int) error {
+	if c.Sats <= 0 {
+		return fmt.Errorf("fleet: non-positive population %d", c.Sats)
+	}
+	if nApps == 0 {
+		return fmt.Errorf("fleet: no applications")
+	}
+	if c.Deadline <= 0 {
+		return fmt.Errorf("fleet: non-positive deadline")
+	}
+	return nil
+}
+
+// AppValue is one application's outcome on the platform.
+type AppValue struct {
+	// App is the application index.
+	App int
+	// ValueRate is high-value bits downlinked per observed-frame-bit of
+	// one satellite's track, summed over the satellites serving this app.
+	ValueRate float64
+	// Satellites is how many satellites serve the application (for the
+	// shared strategy this is the whole constellation).
+	Satellites int
+}
+
+// Report is a strategy evaluation.
+type Report struct {
+	// Strategy names the operating model.
+	Strategy string
+	// PerApp holds each application's outcome.
+	PerApp []AppValue
+	// TotalValueRate sums value over applications.
+	TotalValueRate float64
+	// AppsServed counts applications with nonzero value.
+	AppsServed int
+}
+
+// perSatValue returns one satellite's high-value downlink rate (per
+// observed-frame-bit) for an application at an effective deadline.
+func perSatValue(spec AppSpec, cfg Config, deadline time.Duration) float64 {
+	env := policy.Env{
+		App:          spec.Arch,
+		Target:       cfg.Target,
+		Deadline:     deadline,
+		CapacityFrac: cfg.CapacityFrac,
+		FillIdle:     true,
+	}
+	var est policy.Estimate
+	if cfg.Kodan {
+		_, est = policy.Optimize(spec.Profiles, env)
+	} else {
+		prof := spec.Profiles[0]
+		env.UseEngine = false
+		est = policy.Evaluate(policy.DirectSelection(prof), prof, env)
+	}
+	return est.Ledger.HighValueBits
+}
+
+// Dedicated evaluates the vertically-integrated strategy: satellites split
+// as evenly as possible among applications (earlier applications get the
+// remainder).
+func Dedicated(specs []AppSpec, cfg Config) (Report, error) {
+	if err := cfg.validate(len(specs)); err != nil {
+		return Report{}, err
+	}
+	rep := Report{Strategy: "dedicated"}
+	base := cfg.Sats / len(specs)
+	extra := cfg.Sats % len(specs)
+	for i, spec := range specs {
+		n := base
+		if i < extra {
+			n++
+		}
+		v := 0.0
+		if n > 0 {
+			v = float64(n) * perSatValue(spec, cfg, cfg.Deadline)
+		}
+		rep.PerApp = append(rep.PerApp, AppValue{App: spec.Arch.Index, ValueRate: v, Satellites: n})
+		rep.TotalValueRate += v
+		if v > 0 {
+			rep.AppsServed++
+		}
+	}
+	return rep, nil
+}
+
+// Shared evaluates the platform strategy: every satellite frame-interleaves
+// all applications. Application i sees 1/A of the frames with an A-times
+// longer effective deadline, and the per-satellite downlink is shared in
+// the same proportion.
+func Shared(specs []AppSpec, cfg Config) (Report, error) {
+	if err := cfg.validate(len(specs)); err != nil {
+		return Report{}, err
+	}
+	a := len(specs)
+	rep := Report{Strategy: "shared"}
+	for _, spec := range specs {
+		per := perSatValue(spec, cfg, time.Duration(a)*cfg.Deadline) / float64(a)
+		v := float64(cfg.Sats) * per
+		rep.PerApp = append(rep.PerApp, AppValue{App: spec.Arch.Index, ValueRate: v, Satellites: cfg.Sats})
+		rep.TotalValueRate += v
+		if v > 0 {
+			rep.AppsServed++
+		}
+	}
+	return rep, nil
+}
+
+// Efficiency returns the shared strategy's total value as a fraction of the
+// dedicated strategy's — how much platform flexibility costs.
+func Efficiency(shared, dedicated Report) float64 {
+	if dedicated.TotalValueRate == 0 {
+		return 0
+	}
+	return shared.TotalValueRate / dedicated.TotalValueRate
+}

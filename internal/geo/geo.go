@@ -1,0 +1,246 @@
+// Package geo provides the geodetic and astrodynamic primitives the
+// simulator is built on: WGS-84 constants, Julian dates, Greenwich mean
+// sidereal time, and conversions among Earth-centered inertial (ECI),
+// Earth-centered Earth-fixed (ECEF), and geodetic coordinates. These are
+// the same primitives the cote simulator uses to model satellite motion and
+// ground-station geometry.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Physical constants (WGS-84 and standard gravitational parameters).
+const (
+	// EarthRadius is the WGS-84 equatorial radius in meters.
+	EarthRadius = 6378137.0
+	// EarthFlattening is the WGS-84 flattening factor.
+	EarthFlattening = 1.0 / 298.257223563
+	// EarthMu is the Earth gravitational parameter in m^3/s^2.
+	EarthMu = 3.986004418e14
+	// EarthJ2 is the second zonal harmonic coefficient of the geopotential.
+	EarthJ2 = 1.08262668e-3
+	// EarthRotationRate is Earth's sidereal rotation rate in rad/s.
+	EarthRotationRate = 7.2921158553e-5
+	// SiderealDay is the length of one sidereal day in seconds.
+	SiderealDay = 86164.0905
+	// SolarDay is the length of one mean solar day in seconds.
+	SolarDay = 86400.0
+)
+
+// Deg2Rad converts degrees to radians.
+func Deg2Rad(d float64) float64 { return d * math.Pi / 180 }
+
+// Rad2Deg converts radians to degrees.
+func Rad2Deg(r float64) float64 { return r * 180 / math.Pi }
+
+// WrapTwoPi wraps an angle in radians to [0, 2*pi).
+func WrapTwoPi(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a < 0 {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// WrapPi wraps an angle in radians to (-pi, pi].
+func WrapPi(a float64) float64 {
+	a = WrapTwoPi(a)
+	if a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	return a
+}
+
+// Vec3 is a Cartesian vector in meters (or unitless for directions).
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v x w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Unit returns v normalized to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.3f, %.3f, %.3f)", v.X, v.Y, v.Z)
+}
+
+// Geodetic is a position on or above the WGS-84 ellipsoid.
+type Geodetic struct {
+	// LatDeg is geodetic latitude in degrees, positive north.
+	LatDeg float64
+	// LonDeg is longitude in degrees, positive east, in (-180, 180].
+	LonDeg float64
+	// AltM is height above the ellipsoid in meters.
+	AltM float64
+}
+
+// String implements fmt.Stringer.
+func (g Geodetic) String() string {
+	return fmt.Sprintf("lat %.4f lon %.4f alt %.0fm", g.LatDeg, g.LonDeg, g.AltM)
+}
+
+// JulianDate converts a UTC time to a Julian date. Leap seconds are ignored,
+// which introduces sub-minute timing error — negligible for constellation-
+// scale contact accounting.
+func JulianDate(t time.Time) float64 {
+	t = t.UTC()
+	y, m, d := t.Date()
+	if m <= 2 {
+		y--
+		m += 12
+	}
+	a := y / 100
+	b := 2 - a + a/4
+	jd0 := math.Floor(365.25*float64(y+4716)) +
+		math.Floor(30.6001*float64(m+1)) +
+		float64(d) + float64(b) - 1524.5
+	dayFrac := (float64(t.Hour()) +
+		float64(t.Minute())/60 +
+		(float64(t.Second())+float64(t.Nanosecond())/1e9)/3600) / 24
+	return jd0 + dayFrac
+}
+
+// GMST returns the Greenwich mean sidereal time in radians at time t,
+// using the IAU 1982 model.
+func GMST(t time.Time) float64 {
+	jd := JulianDate(t)
+	tu := (jd - 2451545.0) / 36525.0
+	// Seconds of sidereal time.
+	gmst := 67310.54841 + (876600*3600+8640184.812866)*tu +
+		0.093104*tu*tu - 6.2e-6*tu*tu*tu
+	gmst = math.Mod(gmst, 86400)
+	if gmst < 0 {
+		gmst += 86400
+	}
+	return gmst * 2 * math.Pi / 86400
+}
+
+// ECIToECEF rotates an ECI position into the Earth-fixed frame at time t.
+// Polar motion and nutation are neglected.
+func ECIToECEF(p Vec3, t time.Time) Vec3 {
+	theta := GMST(t)
+	c, s := math.Cos(theta), math.Sin(theta)
+	return Vec3{
+		X: c*p.X + s*p.Y,
+		Y: -s*p.X + c*p.Y,
+		Z: p.Z,
+	}
+}
+
+// ECEFToECI rotates an Earth-fixed position into the inertial frame at time t.
+func ECEFToECI(p Vec3, t time.Time) Vec3 {
+	theta := GMST(t)
+	c, s := math.Cos(theta), math.Sin(theta)
+	return Vec3{
+		X: c*p.X - s*p.Y,
+		Y: s*p.X + c*p.Y,
+		Z: p.Z,
+	}
+}
+
+// GeodeticToECEF converts a geodetic position to ECEF meters.
+func GeodeticToECEF(g Geodetic) Vec3 {
+	lat := Deg2Rad(g.LatDeg)
+	lon := Deg2Rad(g.LonDeg)
+	e2 := EarthFlattening * (2 - EarthFlattening)
+	sinLat := math.Sin(lat)
+	n := EarthRadius / math.Sqrt(1-e2*sinLat*sinLat)
+	cosLat := math.Cos(lat)
+	return Vec3{
+		X: (n + g.AltM) * cosLat * math.Cos(lon),
+		Y: (n + g.AltM) * cosLat * math.Sin(lon),
+		Z: (n*(1-e2) + g.AltM) * sinLat,
+	}
+}
+
+// ECEFToGeodetic converts an ECEF position to geodetic coordinates using
+// Bowring's iterative method (converges in a handful of iterations to
+// sub-millimeter accuracy for LEO altitudes).
+func ECEFToGeodetic(p Vec3) Geodetic {
+	e2 := EarthFlattening * (2 - EarthFlattening)
+	lon := math.Atan2(p.Y, p.X)
+	r := math.Hypot(p.X, p.Y)
+	// Initial latitude guess assuming spherical Earth.
+	lat := math.Atan2(p.Z, r*(1-e2))
+	var alt float64
+	for i := 0; i < 8; i++ {
+		sinLat := math.Sin(lat)
+		n := EarthRadius / math.Sqrt(1-e2*sinLat*sinLat)
+		alt = r/math.Cos(lat) - n
+		newLat := math.Atan2(p.Z, r*(1-e2*n/(n+alt)))
+		if math.Abs(newLat-lat) < 1e-12 {
+			lat = newLat
+			break
+		}
+		lat = newLat
+	}
+	return Geodetic{
+		LatDeg: Rad2Deg(lat),
+		LonDeg: Rad2Deg(WrapPi(lon)),
+		AltM:   alt,
+	}
+}
+
+// SubsatellitePoint returns the geodetic point directly beneath an ECI
+// position at time t.
+func SubsatellitePoint(eci Vec3, t time.Time) Geodetic {
+	g := ECEFToGeodetic(ECIToECEF(eci, t))
+	return g
+}
+
+// GreatCircleDistance returns the great-circle distance in meters between
+// two geodetic points on a spherical Earth of radius EarthRadius (haversine
+// formula). Altitudes are ignored.
+func GreatCircleDistance(a, b Geodetic) float64 {
+	la1, lo1 := Deg2Rad(a.LatDeg), Deg2Rad(a.LonDeg)
+	la2, lo2 := Deg2Rad(b.LatDeg), Deg2Rad(b.LonDeg)
+	dLat := la2 - la1
+	dLon := lo2 - lo1
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(la1)*math.Cos(la2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadius * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// ElevationAngle returns the elevation in radians of a target (ECEF) as seen
+// from an observer (ECEF) on the Earth's surface. Negative values mean the
+// target is below the observer's local horizon.
+func ElevationAngle(observer, target Vec3) float64 {
+	los := target.Sub(observer)
+	up := observer.Unit() // Local vertical approximated by the geocentric direction.
+	sinEl := los.Unit().Dot(up)
+	return math.Asin(math.Max(-1, math.Min(1, sinEl)))
+}

@@ -1,0 +1,194 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestJulianDateKnownEpochs(t *testing.T) {
+	cases := []struct {
+		t    time.Time
+		want float64
+	}{
+		// J2000 epoch: 2000-01-01 12:00 UTC = JD 2451545.0.
+		{time.Date(2000, 1, 1, 12, 0, 0, 0, time.UTC), 2451545.0},
+		// Unix epoch: 1970-01-01 00:00 UTC = JD 2440587.5.
+		{time.Date(1970, 1, 1, 0, 0, 0, 0, time.UTC), 2440587.5},
+		// 2023-03-25 00:00 UTC (the ASPLOS'23 week) = JD 2460028.5.
+		{time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC), 2460028.5},
+	}
+	for _, c := range cases {
+		if got := JulianDate(c.t); !almostEqual(got, c.want, 1e-6) {
+			t.Errorf("JulianDate(%v) = %.6f, want %.6f", c.t, got, c.want)
+		}
+	}
+}
+
+func TestGMSTKnownValue(t *testing.T) {
+	// Vallado example 3-5: 1992-08-20 12:14:00 UTC, GMST = 152.578788 deg.
+	tt := time.Date(1992, 8, 20, 12, 14, 0, 0, time.UTC)
+	got := Rad2Deg(GMST(tt))
+	if !almostEqual(got, 152.578788, 1e-3) {
+		t.Fatalf("GMST = %.6f deg, want 152.578788", got)
+	}
+}
+
+func TestGeodeticECEFRoundTrip(t *testing.T) {
+	if err := quick.Check(func(latU, lonU, altU uint16) bool {
+		g := Geodetic{
+			LatDeg: float64(latU%17000)/100 - 85, // [-85, 85)
+			LonDeg: float64(lonU%36000)/100 - 180,
+			AltM:   float64(altU) * 15, // up to ~1000 km
+		}
+		back := ECEFToGeodetic(GeodeticToECEF(g))
+		return almostEqual(back.LatDeg, g.LatDeg, 1e-7) &&
+			almostEqual(back.AltM, g.AltM, 1e-3) &&
+			almostEqual(math.Mod(back.LonDeg-g.LonDeg+540, 360)-180, 0, 1e-7)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeodeticToECEFKnownPoint(t *testing.T) {
+	// Equator / prime meridian at zero altitude is one equatorial radius
+	// along +X.
+	p := GeodeticToECEF(Geodetic{})
+	if !almostEqual(p.X, EarthRadius, 1e-6) || !almostEqual(p.Y, 0, 1e-6) || !almostEqual(p.Z, 0, 1e-6) {
+		t.Fatalf("equator point = %v", p)
+	}
+	// North pole lies on +Z at the polar radius b = a(1-f).
+	pole := GeodeticToECEF(Geodetic{LatDeg: 90})
+	b := EarthRadius * (1 - EarthFlattening)
+	if !almostEqual(pole.Z, b, 1e-3) {
+		t.Fatalf("pole Z = %.3f, want %.3f", pole.Z, b)
+	}
+}
+
+func TestECIECEFRoundTrip(t *testing.T) {
+	tt := time.Date(2023, 3, 25, 6, 30, 0, 0, time.UTC)
+	p := Vec3{7000e3, -1234e3, 4321e3}
+	back := ECEFToECI(ECIToECEF(p, tt), tt)
+	if back.Sub(p).Norm() > 1e-6 {
+		t.Fatalf("round trip error %v", back.Sub(p).Norm())
+	}
+}
+
+func TestECIToECEFPreservesNorm(t *testing.T) {
+	if err := quick.Check(func(x, y, z int32, sec uint32) bool {
+		p := Vec3{float64(x), float64(y), float64(z)}
+		tt := time.Unix(int64(sec), 0).UTC()
+		q := ECIToECEF(p, tt)
+		return almostEqual(p.Norm(), q.Norm(), 1e-6*(1+p.Norm()))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVec3Algebra(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 5, 6}
+	if got := a.Add(b); got != (Vec3{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec3{-3, -3, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Dot(b); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != (Vec3{-3, 6, -3}) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	if err := quick.Check(func(ax, ay, az, bx, by, bz int16) bool {
+		a := Vec3{float64(ax), float64(ay), float64(az)}
+		b := Vec3{float64(bx), float64(by), float64(bz)}
+		c := a.Cross(b)
+		return almostEqual(c.Dot(a), 0, 1e-6) && almostEqual(c.Dot(b), 0, 1e-6)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnitNorm(t *testing.T) {
+	v := Vec3{3, 4, 0}.Unit()
+	if !almostEqual(v.Norm(), 1, 1e-12) {
+		t.Fatalf("unit norm = %v", v.Norm())
+	}
+	zero := Vec3{}
+	if zero.Unit() != zero {
+		t.Fatal("unit of zero vector changed")
+	}
+}
+
+func TestGreatCircleDistance(t *testing.T) {
+	// Quarter circumference: equator to pole.
+	d := GreatCircleDistance(Geodetic{}, Geodetic{LatDeg: 90})
+	want := math.Pi / 2 * EarthRadius
+	if !almostEqual(d, want, 1) {
+		t.Fatalf("pole distance = %.0f, want %.0f", d, want)
+	}
+	// Symmetric.
+	a := Geodetic{LatDeg: 47.6, LonDeg: -122.3}
+	b := Geodetic{LatDeg: 78.2, LonDeg: 15.4}
+	if !almostEqual(GreatCircleDistance(a, b), GreatCircleDistance(b, a), 1e-6) {
+		t.Fatal("distance not symmetric")
+	}
+	// Identity.
+	if GreatCircleDistance(a, a) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+}
+
+func TestElevationAngle(t *testing.T) {
+	obs := GeodeticToECEF(Geodetic{})
+	// Target straight overhead.
+	up := GeodeticToECEF(Geodetic{AltM: 700e3})
+	if el := ElevationAngle(obs, up); !almostEqual(el, math.Pi/2, 1e-6) {
+		t.Fatalf("overhead elevation = %v", Rad2Deg(el))
+	}
+	// Target on the opposite side of Earth is far below the horizon.
+	anti := GeodeticToECEF(Geodetic{LonDeg: 180, AltM: 700e3})
+	if el := ElevationAngle(obs, anti); el > 0 {
+		t.Fatalf("antipodal target above horizon: %v deg", Rad2Deg(el))
+	}
+}
+
+func TestWrapAngles(t *testing.T) {
+	if got := WrapTwoPi(-0.1); !almostEqual(got, 2*math.Pi-0.1, 1e-12) {
+		t.Errorf("WrapTwoPi(-0.1) = %v", got)
+	}
+	if got := WrapPi(3 * math.Pi / 2); !almostEqual(got, -math.Pi/2, 1e-12) {
+		t.Errorf("WrapPi(3pi/2) = %v", got)
+	}
+	if err := quick.Check(func(a int32) bool {
+		x := float64(a) / 1000
+		w := WrapTwoPi(x)
+		return w >= 0 && w < 2*math.Pi && almostEqual(math.Sin(w), math.Sin(x), 1e-9)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsatellitePointAltitude(t *testing.T) {
+	// A satellite on +X in ECI at GMST ~ whatever time: altitude should be
+	// its radius minus Earth radius (within ellipsoidal tolerance).
+	tt := time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC)
+	r := EarthRadius + 705e3
+	g := SubsatellitePoint(Vec3{r, 0, 0}, tt)
+	if !almostEqual(g.AltM, 705e3, 100) {
+		t.Fatalf("altitude = %.0f, want ~705000", g.AltM)
+	}
+	if !almostEqual(g.LatDeg, 0, 1e-6) {
+		t.Fatalf("latitude = %v, want 0", g.LatDeg)
+	}
+}

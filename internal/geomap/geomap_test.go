@@ -1,0 +1,169 @@
+package geomap
+
+import (
+	"testing"
+	"time"
+
+	"kodan/internal/dataset"
+	"kodan/internal/imagery"
+	"kodan/internal/orbit"
+	"kodan/internal/sense"
+	"kodan/internal/tiling"
+	"kodan/internal/wrs"
+)
+
+var epoch = time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC)
+
+func buildMap(t *testing.T, cells int) (*Map, *imagery.World) {
+	t.Helper()
+	w := imagery.NewWorld(2023)
+	m, err := Build(w, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, w
+}
+
+func TestBuildRejectsTooCoarse(t *testing.T) {
+	if _, err := Build(imagery.NewWorld(1), 2); err == nil {
+		t.Fatal("2-cell map accepted")
+	}
+}
+
+func TestClassAtMatchesWorld(t *testing.T) {
+	// At high raster resolution the map must agree with the world at cell
+	// centers by construction, and almost everywhere at geography scales.
+	m, w := buildMap(t, 720) // 0.5 degree cells
+	agree, total := 0, 0
+	for lat := -80.0; lat <= 80; lat += 7.3 {
+		for lon := -175.0; lon <= 175; lon += 11.7 {
+			total++
+			if m.ClassAt(lon, lat) == w.GeoClassAt(lon, lat) {
+				agree++
+			}
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.9 {
+		t.Fatalf("map agreement = %.3f", frac)
+	}
+}
+
+func TestClassAtEdges(t *testing.T) {
+	m, _ := buildMap(t, 360)
+	// Poles and the date line must not panic and must return valid classes.
+	for _, pt := range [][2]float64{{-180, -90}, {180, 90}, {179.999, 0}, {-179.999, 0}, {0, 89.999}} {
+		g := m.ClassAt(pt[0], pt[1])
+		if g < 0 || g >= imagery.NumGeoClasses {
+			t.Fatalf("class at %v = %v", pt, g)
+		}
+	}
+}
+
+func TestTileContextAccuracy(t *testing.T) {
+	// The coarse onboard map must recover the dominant geography of most
+	// tiles — the paper's claim that expert contexts are quickly
+	// determined from position plus a map.
+	m, _ := buildMap(t, 720)
+	cfg := dataset.DefaultConfig(2023, tiling.Tiling{PerSide: 3})
+	cfg.Frames = 60
+	cfg.TileRes = 12
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles := make([]*imagery.Tile, ds.Len())
+	for i, s := range ds.Samples {
+		tiles[i] = s.Tile
+	}
+	if acc := m.Accuracy(tiles); acc < 0.85 {
+		t.Fatalf("tile context accuracy = %.3f", acc)
+	}
+}
+
+func TestCoarseMapLosesFidelity(t *testing.T) {
+	fine, _ := buildMap(t, 720)
+	coarse, _ := buildMap(t, 16)
+	cfg := dataset.DefaultConfig(7, tiling.Tiling{PerSide: 3})
+	cfg.Frames = 40
+	cfg.TileRes = 12
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles := make([]*imagery.Tile, ds.Len())
+	for i, s := range ds.Samples {
+		tiles[i] = s.Tile
+	}
+	if fa, ca := fine.Accuracy(tiles), coarse.Accuracy(tiles); fa <= ca {
+		t.Fatalf("fine map (%.3f) not better than coarse (%.3f)", fa, ca)
+	}
+}
+
+func TestPrecomputeSchedule(t *testing.T) {
+	m, _ := buildMap(t, 360)
+	im, err := sense.NewImager(sense.Landsat8MS(), orbit.Landsat8(epoch), wrs.Landsat8Grid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := tiling.Tiling{PerSide: 3}
+	sched, err := Precompute(m, im, tl, 1.45, epoch, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFrames := int(30 * time.Minute / im.FrameDeadline())
+	if f := sched.Frames(); f < wantFrames-1 || f > wantFrames+1 {
+		t.Fatalf("scheduled frames = %d, want ~%d", f, wantFrames)
+	}
+	g, err := sched.Context(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 0 || g >= imagery.NumGeoClasses {
+		t.Fatalf("context %v", g)
+	}
+	// Every frame has exactly tiles-per-frame entries.
+	for f := 0; f < sched.Frames(); f++ {
+		if len(sched.Contexts[f]) != tl.Tiles() {
+			t.Fatalf("frame %d has %d tile contexts", f, len(sched.Contexts[f]))
+		}
+	}
+	// Out-of-range lookups error.
+	if _, err := sched.Context(-1, 0); err == nil {
+		t.Fatal("negative frame accepted")
+	}
+	if _, err := sched.Context(0, 99); err == nil {
+		t.Fatal("tile overflow accepted")
+	}
+}
+
+func TestPrecomputeRejectsBadTiling(t *testing.T) {
+	m, _ := buildMap(t, 360)
+	im, err := sense.NewImager(sense.Landsat8MS(), orbit.Landsat8(epoch), wrs.Landsat8Grid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Precompute(m, im, tiling.Tiling{}, 1.45, epoch, time.Minute); err == nil {
+		t.Fatal("bad tiling accepted")
+	}
+}
+
+func TestScheduleTracksGroundTrack(t *testing.T) {
+	// Successive frames move along the orbit, so scheduled contexts should
+	// change over a span that crosses coastlines.
+	m, _ := buildMap(t, 360)
+	im, err := sense.NewImager(sense.Landsat8MS(), orbit.Landsat8(epoch), wrs.Landsat8Grid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Precompute(m, im, tiling.Tiling{PerSide: 3}, 1.45, epoch, 99*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[imagery.GeoClass]bool{}
+	for f := 0; f < sched.Frames(); f++ {
+		classes[sched.Contexts[f][4]] = true // center tile
+	}
+	if len(classes) < 2 {
+		t.Fatalf("a full orbit saw only %d context classes", len(classes))
+	}
+}

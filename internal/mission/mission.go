@@ -1,0 +1,404 @@
+// Package mission runs time-resolved, multi-day deployment simulations: a
+// chronological event loop over frame captures and ground-station contact
+// grants, with a busy/idle processor, a bounded onboard buffer, and a FIFO
+// downlink queue drained at the radio rate during contacts. It is the
+// dynamic counterpart of internal/policy's steady-state estimator — the
+// two must agree in the long run (a property the tests check), but the
+// mission simulator additionally exposes transients the analytic model
+// cannot: queue growth between contacts, buffer overflow drops, and the
+// burstiness of contact-limited downlink.
+//
+// Frames are synthesized statistically rather than rendered: each frame
+// draws its tiles' contexts from the measured context distribution (with
+// frame-level coherence, since real frames are geographically coherent),
+// and each tile's downlink outcome follows the measured per-context
+// confusion rates. This is the same two-level methodology as the paper's
+// system simulation (measure once, simulate cheaply).
+package mission
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"kodan/internal/app"
+	"kodan/internal/hw"
+	"kodan/internal/link"
+	"kodan/internal/orbit"
+	"kodan/internal/policy"
+	"kodan/internal/sense"
+	"kodan/internal/station"
+	"kodan/internal/value"
+	"kodan/internal/wrs"
+	"kodan/internal/xrand"
+)
+
+// Config describes a mission run.
+type Config struct {
+	// Epoch is the mission start.
+	Epoch time.Time
+	// Days is the mission duration in days.
+	Days int
+	// Orbit, Grid, Camera, Stations, and Radio describe the platform;
+	// zero values default to the Landsat 8 reference mission.
+	Orbit    orbit.Elements
+	Grid     wrs.Grid
+	Camera   sense.Camera
+	Stations []station.Station
+	Radio    link.Radio
+
+	// Arch is the deployed application (for per-tile latency).
+	Arch app.Architecture
+	// Target is the hardware platform.
+	Target hw.Target
+	// Profile is the measured per-context profile at the deployed tiling.
+	Profile policy.TilingProfile
+	// Selection is the deployed selection logic. Its tiling must match
+	// Profile's.
+	Selection policy.Selection
+	// UseEngine accounts the context-engine cost per tile (Kodan runtimes
+	// pay it; the direct-deploy baseline does not).
+	UseEngine bool
+	// FillIdle queues unprocessed frames raw instead of dropping them.
+	FillIdle bool
+
+	// BufferBits bounds the onboard downlink queue; 0 means unlimited.
+	// When the buffer is full, raw (unassessed) data is dropped first,
+	// oldest first; then the chunks with the lowest system-estimated
+	// value density (raw filler before filtered products).
+	BufferBits float64
+	// Coherence is the probability that a frame's tiles all share one
+	// context (frames are geographically coherent); the rest draw tiles
+	// independently. Default 0.7.
+	Coherence float64
+	// Seed drives the statistical frame draws.
+	Seed uint64
+}
+
+// withDefaults fills the Landsat reference platform and tunables.
+func (c Config) withDefaults() Config {
+	if c.Orbit.SemiMajorAxisM == 0 {
+		c.Orbit = orbit.Landsat8(c.Epoch)
+	}
+	if c.Grid.TotalScenes() == 0 {
+		c.Grid = wrs.Landsat8Grid()
+	}
+	if c.Camera.FramePx == 0 {
+		c.Camera = sense.Landsat8MS()
+	}
+	if c.Stations == nil {
+		c.Stations = station.LandsatSegment()
+	}
+	if c.Radio.RateBps == 0 {
+		c.Radio = link.Landsat8Radio()
+	}
+	if c.Coherence == 0 {
+		c.Coherence = 0.7
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// validate rejects inconsistent configurations.
+func (c Config) validate() error {
+	if c.Days <= 0 {
+		return fmt.Errorf("mission: non-positive duration %d days", c.Days)
+	}
+	if len(c.Selection.Actions) != len(c.Profile.Contexts) {
+		return fmt.Errorf("mission: selection has %d actions for %d contexts",
+			len(c.Selection.Actions), len(c.Profile.Contexts))
+	}
+	if c.Selection.Tiling.PerSide != c.Profile.Tiling.PerSide {
+		return fmt.Errorf("mission: selection tiling %v != profile tiling %v",
+			c.Selection.Tiling, c.Profile.Tiling)
+	}
+	return nil
+}
+
+// Result is the mission outcome.
+type Result struct {
+	// Ledger is the full-mission downlink accounting.
+	Ledger value.Ledger
+	// FramesCaptured, FramesProcessed, and FramesMissed count captures,
+	// frames processed in time, and frames that arrived while the
+	// processor was busy.
+	FramesCaptured  int
+	FramesProcessed int
+	FramesMissed    int
+	// PeakQueueBits is the largest onboard queue the mission saw.
+	PeakQueueBits float64
+	// DroppedBits counts data discarded to buffer overflow.
+	DroppedBits float64
+	// ContactTime is the total downlink time granted.
+	ContactTime time.Duration
+}
+
+// DVD returns the mission's data value density.
+func (r *Result) DVD() float64 { return r.Ledger.DVD() }
+
+// event is a point on the mission timeline.
+type event struct {
+	at      time.Time
+	capture bool       // capture event; otherwise a grant start
+	grant   link.Grant // valid when !capture
+}
+
+// Run executes the mission.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	span := time.Duration(cfg.Days) * 24 * time.Hour
+
+	im, err := sense.NewImager(cfg.Camera, cfg.Orbit, cfg.Grid)
+	if err != nil {
+		return nil, err
+	}
+	captures := im.Captures(cfg.Epoch, span)
+
+	windows := make([][][]station.Window, len(cfg.Stations))
+	for si, st := range cfg.Stations {
+		windows[si] = [][]station.Window{station.ContactWindows(st, cfg.Orbit, cfg.Epoch, span, 30*time.Second)}
+	}
+	grants := link.Allocate(link.Problem{
+		Start: cfg.Epoch, Span: span, Quantum: 10 * time.Second, Windows: windows,
+	})
+
+	// Merge captures and grants into one chronological timeline.
+	events := make([]event, 0, len(captures)+len(grants))
+	for _, c := range captures {
+		events = append(events, event{at: c.Time, capture: true})
+	}
+	var contact time.Duration
+	for _, g := range grants {
+		events = append(events, event{at: g.Start, grant: g})
+		contact += g.Dur
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].at.Before(events[j].at) })
+
+	frameBits := cfg.Camera.FrameBits()
+	tileBits := frameBits / float64(cfg.Selection.Tiling.Tiles())
+	rng := xrand.New(cfg.Seed)
+	fracs := contextWeights(cfg.Profile)
+
+	res := &Result{ContactTime: contact}
+	q := newQueue(cfg.BufferBits)
+	var busyUntil time.Time
+
+	for _, ev := range events {
+		if ev.capture {
+			res.FramesCaptured++
+			res.Ledger.ObservedBits += frameBits
+			// Draw the frame's context mix.
+			contexts := drawFrame(cfg, fracs, rng)
+			var frameValue float64
+			for _, c := range contexts {
+				frameValue += tileBits * cfg.Profile.Contexts[c].HighValueFrac
+			}
+			res.Ledger.ObservedHighValueBits += frameValue
+
+			if ev.at.Before(busyUntil) {
+				// Processor still busy: the frame is missed.
+				res.FramesMissed++
+				if cfg.FillIdle {
+					q.push(value.Chunk{Bits: frameBits, ValueBits: frameValue}, false)
+					res.DroppedBits += q.enforce()
+					if q.bits > res.PeakQueueBits {
+						res.PeakQueueBits = q.bits
+					}
+				}
+				continue
+			}
+			res.FramesProcessed++
+			procTime, chunks, assessed := processFrame(cfg, contexts, tileBits)
+			busyUntil = ev.at.Add(procTime)
+			for i, ch := range chunks {
+				q.push(ch, assessed[i])
+			}
+			res.DroppedBits += q.enforce()
+			if q.bits > res.PeakQueueBits {
+				res.PeakQueueBits = q.bits
+			}
+			continue
+		}
+		// Grant: drain the queue FIFO at the radio rate.
+		capacity := cfg.Radio.Bits(ev.grant.Dur)
+		res.Ledger.CapacityBits += capacity
+		bits, val := q.drain(capacity)
+		res.Ledger.DownlinkedBits += bits
+		res.Ledger.HighValueBits += val
+	}
+	return res, nil
+}
+
+// contextWeights extracts the tile-fraction weights.
+func contextWeights(tp policy.TilingProfile) []float64 {
+	w := make([]float64, len(tp.Contexts))
+	for i, c := range tp.Contexts {
+		w[i] = c.TileFrac
+	}
+	return w
+}
+
+// drawFrame draws per-tile contexts with frame-level coherence.
+func drawFrame(cfg Config, fracs []float64, rng *xrand.Rand) []int {
+	tiles := cfg.Selection.Tiling.Tiles()
+	out := make([]int, tiles)
+	if rng.Bool(cfg.Coherence) {
+		c := rng.Choice(fracs)
+		for i := range out {
+			out[i] = c
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = rng.Choice(fracs)
+	}
+	return out
+}
+
+// processFrame returns the frame's processing time, downlink chunks, and
+// per-chunk "assessed" flags (whether the system holds a value estimate
+// for the chunk) under the selection logic, using expected per-context
+// rates.
+func processFrame(cfg Config, contexts []int, tileBits float64) (time.Duration, []value.Chunk, []bool) {
+	var ms float64
+	var chunks []value.Chunk
+	var assessed []bool
+	engineMs := cfg.Target.ContextEngineMsPerTile()
+	modelMs := cfg.Arch.PerTileMs[cfg.Target]
+	for _, c := range contexts {
+		if cfg.UseEngine {
+			ms += engineMs
+		}
+		cp := cfg.Profile.Contexts[c]
+		switch cfg.Selection.Actions[c] {
+		case policy.Discard:
+		case policy.Downlink:
+			chunks = append(chunks, value.Chunk{Bits: tileBits, ValueBits: tileBits * cp.HighValueFrac})
+			// A context-engine verdict is a value estimate; a bent pipe
+			// (no engine) downlinks blind.
+			assessed = append(assessed, cfg.UseEngine)
+		default: // Specialized, Merged, Generic
+			conf := cp.Special
+			switch cfg.Selection.Actions[c] {
+			case policy.Merged:
+				conf = cp.Merged
+			case policy.Generic:
+				conf = cp.Generic
+			}
+			ms += modelMs
+			total := float64(conf.Total())
+			if total == 0 {
+				continue
+			}
+			kept := conf.PositiveRate()
+			tpFrac := float64(conf.TP) / total
+			if kept > 0 {
+				chunks = append(chunks, value.Chunk{Bits: tileBits * kept, ValueBits: tileBits * tpFrac})
+				assessed = append(assessed, true)
+			}
+		}
+	}
+	return time.Duration(ms * float64(time.Millisecond)), chunks, assessed
+}
+
+// qitem is a queued chunk plus whether the system holds a value estimate
+// for it (raw unassessed data cannot be ranked by the storage manager).
+type qitem struct {
+	chunk    value.Chunk
+	assessed bool
+}
+
+// queue is a FIFO downlink queue with an optional bit bound. Overflow
+// drops raw (unassessed) data first, oldest first, then the
+// lowest-estimated-density assessed chunks. The estimate comes from the
+// context engine and measured model rates — never from ground truth — so
+// a bent pipe, which assesses nothing, degrades to plain FIFO eviction.
+type queue struct {
+	limit float64 // 0 = unlimited
+	items []qitem
+	bits  float64
+}
+
+func newQueue(limit float64) *queue { return &queue{limit: limit} }
+
+func (q *queue) push(c value.Chunk, assessed bool) {
+	if c.Bits <= 0 {
+		return
+	}
+	q.items = append(q.items, qitem{chunk: c, assessed: assessed})
+	q.bits += c.Bits
+}
+
+// enforce applies the buffer bound and returns the bits dropped.
+func (q *queue) enforce() float64 {
+	if q.limit <= 0 || q.bits <= q.limit {
+		return 0
+	}
+	var dropped float64
+	for q.bits > q.limit && len(q.items) > 0 {
+		victimIdx := q.pickVictim()
+		victim := q.items[victimIdx]
+		over := q.bits - q.limit
+		if victim.chunk.Bits <= over {
+			q.items = append(q.items[:victimIdx], q.items[victimIdx+1:]...)
+			q.bits -= victim.chunk.Bits
+			dropped += victim.chunk.Bits
+			continue
+		}
+		frac := over / victim.chunk.Bits
+		q.items[victimIdx].chunk = value.Chunk{
+			Bits:      victim.chunk.Bits - over,
+			ValueBits: victim.chunk.ValueBits * (1 - frac),
+		}
+		q.bits -= over
+		dropped += over
+	}
+	return dropped
+}
+
+// pickVictim returns the index to evict: the oldest unassessed chunk if
+// any exist, else the lowest-estimated-density assessed chunk.
+func (q *queue) pickVictim() int {
+	for i, it := range q.items {
+		if !it.assessed {
+			return i
+		}
+	}
+	worst := 0
+	for i := 1; i < len(q.items); i++ {
+		if q.items[i].chunk.Density() < q.items[worst].chunk.Density() {
+			worst = i
+		}
+	}
+	return worst
+}
+
+// drain sends up to capacity bits FIFO and returns (bits, valueBits) sent.
+func (q *queue) drain(capacity float64) (bits, val float64) {
+	for capacity > 0 && len(q.items) > 0 {
+		head := q.items[0].chunk
+		if head.Bits <= capacity {
+			bits += head.Bits
+			val += head.ValueBits
+			capacity -= head.Bits
+			q.bits -= head.Bits
+			q.items = q.items[1:]
+			continue
+		}
+		frac := capacity / head.Bits
+		bits += capacity
+		val += head.ValueBits * frac
+		q.items[0].chunk = value.Chunk{
+			Bits:      head.Bits - capacity,
+			ValueBits: head.ValueBits * (1 - frac),
+		}
+		q.bits -= capacity
+		capacity = 0
+	}
+	return bits, val
+}

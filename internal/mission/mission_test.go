@@ -1,0 +1,215 @@
+package mission
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"kodan/internal/app"
+	"kodan/internal/hw"
+	"kodan/internal/nn"
+	"kodan/internal/policy"
+	"kodan/internal/tiling"
+	"kodan/internal/value"
+)
+
+var epoch = time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC)
+
+// conf builds a confusion matrix from rates over a nominal population.
+func conf(tpr, fpr, baseRate float64) nn.Confusion {
+	const n = 10000
+	pos := int(baseRate * n)
+	neg := n - pos
+	tp := int(tpr * float64(pos))
+	fp := int(fpr * float64(neg))
+	return nn.Confusion{TP: tp, FN: pos - tp, FP: fp, TN: neg - fp}
+}
+
+// testProfile mirrors the policy tests' three-context world.
+func testProfile(perSide int) policy.TilingProfile {
+	return policy.TilingProfile{
+		Tiling: tiling.Tiling{PerSide: perSide},
+		Contexts: []policy.ContextProfile{
+			{TileFrac: 0.30, HighValueFrac: 0.92, Generic: conf(0.90, 0.30, 0.92), Special: conf(0.95, 0.20, 0.92), Merged: conf(0.93, 0.25, 0.92)},
+			{TileFrac: 0.35, HighValueFrac: 0.06, Generic: conf(0.80, 0.15, 0.06), Special: conf(0.90, 0.05, 0.06), Merged: conf(0.85, 0.08, 0.06)},
+			{TileFrac: 0.35, HighValueFrac: 0.50, Generic: conf(0.85, 0.25, 0.50), Special: conf(0.92, 0.10, 0.50), Merged: conf(0.90, 0.15, 0.50)},
+		},
+	}
+}
+
+// kodanConfig builds a Kodan-style mission: App 4 on the Orin, downlink the
+// pure-high context, discard the pure-low one, filter the mixed one.
+func kodanConfig(days int) Config {
+	prof := testProfile(3)
+	return Config{
+		Epoch:  epoch,
+		Days:   days,
+		Arch:   app.App(4),
+		Target: hw.Orin15W,
+
+		Profile: prof,
+		Selection: policy.Selection{
+			Tiling:  prof.Tiling,
+			Actions: []policy.Action{policy.Downlink, policy.Discard, policy.Specialized},
+		},
+		UseEngine: true,
+		FillIdle:  true,
+		Seed:      7,
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	res, err := Run(kodanConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~3600 frames captured per day.
+	if res.FramesCaptured < 3300 || res.FramesCaptured > 3900 {
+		t.Fatalf("captured = %d", res.FramesCaptured)
+	}
+	if res.FramesProcessed+res.FramesMissed != res.FramesCaptured {
+		t.Fatal("frame accounting inconsistent")
+	}
+	// This selection meets the deadline easily: no missed frames.
+	if res.FramesMissed != 0 {
+		t.Fatalf("missed %d frames", res.FramesMissed)
+	}
+	// The downlink is saturated and value-dense.
+	if res.Ledger.Utilization() < 0.95 {
+		t.Fatalf("utilization = %.3f", res.Ledger.Utilization())
+	}
+	if res.DVD() < 0.8 {
+		t.Fatalf("DVD = %.3f", res.DVD())
+	}
+}
+
+func TestMissionMatchesAnalyticSteadyState(t *testing.T) {
+	// The time-resolved mission and the analytic estimator must agree on
+	// DVD in the long run (the mission adds only transient effects).
+	cfg := kodanConfig(3)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The analytic model needs the same capacity fraction the mission saw.
+	env := policy.Env{
+		App:          cfg.Arch,
+		Target:       cfg.Target,
+		Deadline:     24 * time.Second,
+		CapacityFrac: res.Ledger.CapacityBits / res.Ledger.ObservedBits,
+		FillIdle:     true,
+		UseEngine:    true,
+	}
+	est := policy.Evaluate(cfg.Selection, cfg.Profile, env)
+	if diff := math.Abs(est.DVD - res.DVD()); diff > 0.03 {
+		t.Fatalf("analytic DVD %.3f vs mission DVD %.3f (diff %.3f)", est.DVD, res.DVD(), diff)
+	}
+}
+
+func TestBottleneckedMissionMissesFrames(t *testing.T) {
+	// All-specialized at 121 tiles on the Orin takes ~4 minutes per frame:
+	// most captures arrive while the processor is busy.
+	prof := testProfile(11)
+	cfg := kodanConfig(1)
+	cfg.Profile = prof
+	cfg.Selection = policy.Selection{
+		Tiling:  prof.Tiling,
+		Actions: []policy.Action{policy.Specialized, policy.Specialized, policy.Specialized},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := float64(res.FramesMissed) / float64(res.FramesCaptured); frac < 0.8 {
+		t.Fatalf("missed fraction = %.2f, want deep bottleneck", frac)
+	}
+	// With raw filler the link still runs, at bent-pipe-like density.
+	if res.Ledger.Utilization() < 0.9 {
+		t.Fatalf("utilization = %.3f", res.Ledger.Utilization())
+	}
+	if res.DVD() > 0.75 {
+		t.Fatalf("bottlenecked DVD = %.3f, want near bent pipe", res.DVD())
+	}
+}
+
+func TestBufferOverflowDropsSparse(t *testing.T) {
+	cfg := kodanConfig(1)
+	cfg.BufferBits = 5 * cfg.Profile.Contexts[0].TileFrac * 8e9 // a few frames
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedBits == 0 {
+		t.Fatal("tiny buffer never overflowed")
+	}
+	if res.PeakQueueBits > cfg.BufferBits*1.0001 {
+		t.Fatalf("peak queue %.0f exceeded buffer %.0f", res.PeakQueueBits, cfg.BufferBits)
+	}
+	// Value accounting stays consistent.
+	if res.Ledger.HighValueBits > res.Ledger.DownlinkedBits {
+		t.Fatal("value exceeds downlinked bits")
+	}
+}
+
+func TestUnlimitedBufferNeverDrops(t *testing.T) {
+	res, err := Run(kodanConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedBits != 0 {
+		t.Fatalf("unlimited buffer dropped %.0f bits", res.DroppedBits)
+	}
+}
+
+func TestMissionDeterministic(t *testing.T) {
+	a, err := Run(kodanConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Run(kodanConfig(1))
+	if a.DVD() != b.DVD() || a.FramesProcessed != b.FramesProcessed || a.PeakQueueBits != b.PeakQueueBits {
+		t.Fatal("mission not deterministic")
+	}
+}
+
+func TestValidateRejectsBadConfig(t *testing.T) {
+	cfg := kodanConfig(0)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero days accepted")
+	}
+	cfg = kodanConfig(1)
+	cfg.Selection.Actions = cfg.Selection.Actions[:1]
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("mismatched actions accepted")
+	}
+	cfg = kodanConfig(1)
+	cfg.Selection.Tiling = tiling.Tiling{PerSide: 5}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("mismatched tiling accepted")
+	}
+}
+
+func TestQueueMechanics(t *testing.T) {
+	q := newQueue(10)
+	q.push(value.Chunk{Bits: 6, ValueBits: 3}, true) // density 0.5 — the victim
+	q.push(value.Chunk{Bits: 6, ValueBits: 6}, true) // density 1.0 — preserved
+	if dropped := q.enforce(); math.Abs(dropped-2) > 1e-9 {
+		t.Fatalf("dropped = %v, want 2 (least dense first)", dropped)
+	}
+	// The sparse chunk was trimmed to 4 bits with proportional value 2.
+	bits, val := q.drain(100)
+	if math.Abs(bits-10) > 1e-9 || math.Abs(val-8) > 1e-9 {
+		t.Fatalf("drain = %v/%v, want 10/8", bits, val)
+	}
+	// Partial drain splits the head.
+	q2 := newQueue(0)
+	q2.push(value.Chunk{Bits: 10, ValueBits: 5}, true)
+	b, v := q2.drain(4)
+	if b != 4 || math.Abs(v-2) > 1e-9 {
+		t.Fatalf("partial drain = %v/%v", b, v)
+	}
+	b, v = q2.drain(100)
+	if math.Abs(b-6) > 1e-9 || math.Abs(v-3) > 1e-9 {
+		t.Fatalf("remainder drain = %v/%v", b, v)
+	}
+}

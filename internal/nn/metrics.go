@@ -1,0 +1,78 @@
+package nn
+
+// Confusion is a binary confusion matrix accumulated over per-pixel
+// predictions. "Positive" means high-value (cloud-free) throughout the
+// reproduction, matching the paper's precision definition
+// TP / (TP + FP) — the fraction of downlinked pixels that are truly
+// high-value.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one prediction.
+func (c *Confusion) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && !actual:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Merge accumulates another confusion matrix into c.
+func (c *Confusion) Merge(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.TN += o.TN
+	c.FN += o.FN
+}
+
+// Total returns the number of recorded predictions.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy returns the fraction of correct labels, the paper's "fraction
+// correct". Returns 0 for an empty matrix.
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// Precision returns TP/(TP+FP). Returns 1 when nothing was predicted
+// positive (an empty downlink pollutes nothing).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN). Returns 0 for an empty positive class.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// PositiveRate returns the fraction of samples predicted positive — the
+// fraction of pixels an application would keep for downlink.
+func (c Confusion) PositiveRate() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.FP) / float64(c.Total())
+}
+
+// BaseRate returns the fraction of samples that are actually positive.
+func (c Confusion) BaseRate() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.FN) / float64(c.Total())
+}

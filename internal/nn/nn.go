@@ -1,0 +1,414 @@
+// Package nn is a small, dependency-free neural-network library: dense
+// feed-forward networks with ReLU hidden layers, sigmoid or softmax heads,
+// stochastic gradient descent with momentum, and classification metrics.
+// It stands in for the paper's PyTorch-based model-zoo training (Section 4)
+// at the scale this reproduction needs: pixel-level cloud classifiers and
+// the tile-level context engine. Initialization and shuffling draw from
+// deterministic xrand streams, so training is reproducible.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"kodan/internal/xrand"
+)
+
+// Activation selects a layer nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Linear Activation = iota
+	ReLU
+	Sigmoid
+)
+
+// layer is one dense layer: out = act(W*in + b).
+type layer struct {
+	in, out int
+	act     Activation
+	w       []float64 // out x in, row-major
+	b       []float64
+	// Gradient accumulators and optimizer state (momentum, and Adam's
+	// second-moment buffers, allocated lazily).
+	gw, gb []float64
+	mw, mb []float64
+	vw, vb []float64
+}
+
+func newLayer(in, out int, act Activation, rng *xrand.Rand) *layer {
+	l := &layer{
+		in: in, out: out, act: act,
+		w:  make([]float64, in*out),
+		b:  make([]float64, out),
+		gw: make([]float64, in*out),
+		gb: make([]float64, out),
+		mw: make([]float64, in*out),
+		mb: make([]float64, out),
+	}
+	// He initialization for ReLU, Xavier otherwise.
+	scale := math.Sqrt(2 / float64(in))
+	if act != ReLU {
+		scale = math.Sqrt(1 / float64(in))
+	}
+	for i := range l.w {
+		l.w[i] = rng.Norm(0, scale)
+	}
+	return l
+}
+
+// forward computes the layer output and caches pre-activations in preact.
+func (l *layer) forward(in, out, preact []float64) {
+	for o := 0; o < l.out; o++ {
+		sum := l.b[o]
+		row := l.w[o*l.in : (o+1)*l.in]
+		for i, v := range in {
+			sum += row[i] * v
+		}
+		preact[o] = sum
+		out[o] = activate(sum, l.act)
+	}
+}
+
+// backward consumes dOut (gradient wrt layer output), accumulates weight
+// gradients, and writes the gradient wrt the layer input into dIn.
+func (l *layer) backward(in, preact, dOut, dIn []float64) {
+	for i := range dIn {
+		dIn[i] = 0
+	}
+	for o := 0; o < l.out; o++ {
+		g := dOut[o] * activateGrad(preact[o], l.act)
+		l.gb[o] += g
+		row := l.w[o*l.in : (o+1)*l.in]
+		grow := l.gw[o*l.in : (o+1)*l.in]
+		for i, v := range in {
+			grow[i] += g * v
+			dIn[i] += g * row[i]
+		}
+	}
+}
+
+// step applies accumulated gradients with SGD + momentum and clears them.
+func (l *layer) step(lr, momentum float64, batch int) {
+	inv := 1 / float64(batch)
+	for i := range l.w {
+		l.mw[i] = momentum*l.mw[i] - lr*l.gw[i]*inv
+		l.w[i] += l.mw[i]
+		l.gw[i] = 0
+	}
+	for i := range l.b {
+		l.mb[i] = momentum*l.mb[i] - lr*l.gb[i]*inv
+		l.b[i] += l.mb[i]
+		l.gb[i] = 0
+	}
+}
+
+// Adam hyperparameters (the standard defaults).
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+// stepAdam applies accumulated gradients with Adam and clears them. t is
+// the 1-based update count for bias correction.
+func (l *layer) stepAdam(lr float64, batch, t int) {
+	if l.vw == nil {
+		l.vw = make([]float64, len(l.w))
+		l.vb = make([]float64, len(l.b))
+	}
+	inv := 1 / float64(batch)
+	c1 := 1 - math.Pow(adamBeta1, float64(t))
+	c2 := 1 - math.Pow(adamBeta2, float64(t))
+	upd := func(w, g, m, v []float64) {
+		for i := range w {
+			grad := g[i] * inv
+			m[i] = adamBeta1*m[i] + (1-adamBeta1)*grad
+			v[i] = adamBeta2*v[i] + (1-adamBeta2)*grad*grad
+			mHat := m[i] / c1
+			vHat := v[i] / c2
+			w[i] -= lr * mHat / (math.Sqrt(vHat) + adamEps)
+			g[i] = 0
+		}
+	}
+	upd(l.w, l.gw, l.mw, l.vw)
+	upd(l.b, l.gb, l.mb, l.vb)
+}
+
+func activate(x float64, a Activation) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	default:
+		return x
+	}
+}
+
+func activateGrad(pre float64, a Activation) float64 {
+	switch a {
+	case ReLU:
+		if pre < 0 {
+			return 0
+		}
+		return 1
+	case Sigmoid:
+		s := 1 / (1 + math.Exp(-pre))
+		return s * (1 - s)
+	default:
+		return 1
+	}
+}
+
+// Net is a feed-forward network. Build one with NewClassifier or
+// NewBinary; the zero value is unusable.
+type Net struct {
+	layers []*layer
+	// Scratch buffers sized at construction, reused across calls. Nets are
+	// not safe for concurrent use.
+	acts    [][]float64
+	preacts [][]float64
+	deltas  [][]float64
+	softmax bool
+}
+
+// NewBinary returns a binary classifier: inputs -> hidden ReLU layers ->
+// one sigmoid output interpreted as P(positive). hidden may be empty for
+// logistic regression.
+func NewBinary(inputs int, hidden []int, rng *xrand.Rand) *Net {
+	sizes := append([]int{inputs}, hidden...)
+	n := &Net{}
+	for i := 0; i+1 < len(sizes); i++ {
+		n.layers = append(n.layers, newLayer(sizes[i], sizes[i+1], ReLU, rng))
+	}
+	n.layers = append(n.layers, newLayer(sizes[len(sizes)-1], 1, Sigmoid, rng))
+	n.initScratch(inputs)
+	return n
+}
+
+// NewClassifier returns a multiclass classifier: inputs -> hidden ReLU
+// layers -> classes linear outputs with a softmax applied by Predict.
+func NewClassifier(inputs int, hidden []int, classes int, rng *xrand.Rand) *Net {
+	if classes < 2 {
+		panic("nn: classifier needs >= 2 classes")
+	}
+	sizes := append([]int{inputs}, hidden...)
+	n := &Net{softmax: true}
+	for i := 0; i+1 < len(sizes); i++ {
+		n.layers = append(n.layers, newLayer(sizes[i], sizes[i+1], ReLU, rng))
+	}
+	n.layers = append(n.layers, newLayer(sizes[len(sizes)-1], classes, Linear, rng))
+	n.initScratch(inputs)
+	return n
+}
+
+func (n *Net) initScratch(inputs int) {
+	n.acts = append(n.acts, make([]float64, inputs))
+	for _, l := range n.layers {
+		n.acts = append(n.acts, make([]float64, l.out))
+		n.preacts = append(n.preacts, make([]float64, l.out))
+		n.deltas = append(n.deltas, make([]float64, l.in))
+	}
+}
+
+// Inputs returns the network's input dimension.
+func (n *Net) Inputs() int { return n.layers[0].in }
+
+// Outputs returns the network's output dimension.
+func (n *Net) Outputs() int { return n.layers[len(n.layers)-1].out }
+
+// Params returns the total number of weights and biases — a proxy for the
+// model's computational cost class.
+func (n *Net) Params() int {
+	total := 0
+	for _, l := range n.layers {
+		total += len(l.w) + len(l.b)
+	}
+	return total
+}
+
+// forward runs the network; the final activation vector is returned.
+func (n *Net) forward(x []float64) []float64 {
+	copy(n.acts[0], x)
+	for i, l := range n.layers {
+		l.forward(n.acts[i], n.acts[i+1], n.preacts[i])
+	}
+	out := n.acts[len(n.acts)-1]
+	if n.softmax {
+		softmaxInPlace(out)
+	}
+	return out
+}
+
+// Predict returns the output for input x: a 1-element probability for
+// binary nets, or a probability distribution over classes.
+func (n *Net) Predict(x []float64) []float64 {
+	if len(x) != n.Inputs() {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), n.Inputs()))
+	}
+	out := n.forward(x)
+	res := make([]float64, len(out))
+	copy(res, out)
+	return res
+}
+
+// PredictBinary returns P(positive) for a binary network.
+func (n *Net) PredictBinary(x []float64) float64 {
+	if n.Outputs() != 1 {
+		panic("nn: PredictBinary on non-binary net")
+	}
+	return n.forward(x)[0]
+}
+
+// PredictClass returns the argmax class for a classifier.
+func (n *Net) PredictClass(x []float64) int {
+	out := n.forward(x)
+	best := 0
+	for i, v := range out {
+		if v > out[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func softmaxInPlace(v []float64) {
+	maxV := v[0]
+	for _, x := range v[1:] {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	var sum float64
+	for i := range v {
+		v[i] = math.Exp(v[i] - maxV)
+		sum += v[i]
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// accumulate runs one forward/backward pass. For binary nets target is
+// {0,1} in target[0]; for classifiers target is a class index in target[0].
+// Both use the cross-entropy gradient, which for sigmoid and softmax heads
+// reduces to (p - y) at the final pre-activation.
+func (n *Net) accumulate(x []float64, target float64) float64 {
+	out := n.forward(x)
+	last := len(n.layers) - 1
+	dOut := make([]float64, n.layers[last].out)
+	var loss float64
+	if n.softmax {
+		cls := int(target)
+		for i := range dOut {
+			y := 0.0
+			if i == cls {
+				y = 1
+			}
+			// Softmax+CE gradient wrt pre-activation is p-y; our backward
+			// multiplies by activateGrad(Linear)=1, so feed p-y directly.
+			dOut[i] = out[i] - y
+		}
+		loss = -math.Log(math.Max(out[int(target)], 1e-12))
+	} else {
+		p := out[0]
+		y := target
+		// Sigmoid+BCE: gradient wrt pre-activation is p-y. backward will
+		// multiply by sigmoid'(pre), so divide it out here.
+		g := activateGrad(n.preacts[last][0], Sigmoid)
+		if g < 1e-12 {
+			g = 1e-12
+		}
+		dOut[0] = (p - y) / g
+		loss = -y*math.Log(math.Max(p, 1e-12)) - (1-y)*math.Log(math.Max(1-p, 1e-12))
+	}
+
+	for i := last; i >= 0; i-- {
+		n.layers[i].backward(n.acts[i], n.preacts[i], dOut, n.deltas[i])
+		dOut = n.deltas[i]
+	}
+	return loss
+}
+
+// Optimizer selects the weight-update rule.
+type Optimizer int
+
+// Optimizers.
+const (
+	// SGD is stochastic gradient descent with momentum (the default).
+	SGD Optimizer = iota
+	// Adam is adaptive moment estimation; LearnRate is the Adam alpha
+	// (typical values are ~10x smaller than SGD's) and Momentum is
+	// ignored.
+	Adam
+)
+
+// TrainConfig controls Fit.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LearnRate float64
+	Momentum  float64
+	Optimizer Optimizer
+}
+
+// DefaultTrain returns a configuration adequate for the reproduction's
+// classifiers: 6 epochs of minibatch SGD with momentum.
+func DefaultTrain() TrainConfig {
+	return TrainConfig{Epochs: 6, BatchSize: 32, LearnRate: 0.1, Momentum: 0.9}
+}
+
+// Fit trains the network on (xs, ys) and returns the mean loss of the final
+// epoch. For binary nets ys hold {0,1}; for classifiers ys hold class
+// indices. Shuffling draws from rng, so training is deterministic.
+func (n *Net) Fit(xs [][]float64, ys []float64, cfg TrainConfig, rng *xrand.Rand) float64 {
+	if len(xs) != len(ys) {
+		panic("nn: len(xs) != len(ys)")
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	var lastLoss float64
+	updates := 0
+	apply := func(batch int) {
+		updates++
+		for _, l := range n.layers {
+			switch cfg.Optimizer {
+			case Adam:
+				l.stepAdam(cfg.LearnRate, batch, updates)
+			default:
+				l.step(cfg.LearnRate, cfg.Momentum, batch)
+			}
+		}
+	}
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		batch := 0
+		for _, i := range idx {
+			epochLoss += n.accumulate(xs[i], ys[i])
+			batch++
+			if batch == cfg.BatchSize {
+				apply(batch)
+				batch = 0
+			}
+		}
+		if batch > 0 {
+			apply(batch)
+		}
+		lastLoss = epochLoss / float64(len(xs))
+	}
+	return lastLoss
+}

@@ -1,0 +1,209 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kodan/internal/geo"
+)
+
+var epoch = time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC)
+
+func TestSolveKepler(t *testing.T) {
+	// Circular orbit: E == M.
+	if e := SolveKepler(1.234, 0); math.Abs(e-1.234) > 1e-12 {
+		t.Fatalf("circular E = %v", e)
+	}
+	// Property: the solution satisfies Kepler's equation.
+	if err := quick.Check(func(mRaw int32, eccRaw uint8) bool {
+		m := float64(mRaw) / 1000
+		ecc := float64(eccRaw) / 300 // [0, ~0.85]
+		e := SolveKepler(m, ecc)
+		return math.Abs(geo.WrapTwoPi(e-ecc*math.Sin(e))-geo.WrapTwoPi(m)) < 1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLandsat8OrbitShape(t *testing.T) {
+	e := Landsat8(epoch)
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Landsat 8: ~98.2 deg inclination, ~98.8 min period.
+	incDeg := geo.Rad2Deg(e.InclinationRad)
+	if math.Abs(incDeg-98.2) > 0.3 {
+		t.Errorf("inclination = %.2f deg, want ~98.2", incDeg)
+	}
+	if p := e.Period().Minutes(); math.Abs(p-98.9) > 0.5 {
+		t.Errorf("period = %.2f min, want ~98.9", p)
+	}
+	if math.Abs(e.AltitudeM()-705e3) > 5e3 {
+		t.Errorf("altitude = %.0f, want ~705-710 km", e.AltitudeM())
+	}
+}
+
+func TestRepeatGroundTrackResonance(t *testing.T) {
+	e := RepeatGroundTrack(233, 16, epoch)
+	// 233 node-to-node revolutions must equal 16 Earth-relative days, where
+	// a relative day is measured against the precessing orbit plane.
+	relDay := 2 * math.Pi / (geo.EarthRotationRate - e.NodalPrecessionRate())
+	total := 233 * e.DraconiticPeriod().Seconds()
+	if math.Abs(total-16*relDay) > 1e-3 {
+		t.Fatalf("233 draconitic orbits = %.3f s, want %.3f s", total, 16*relDay)
+	}
+	// A sun-synchronous relative day is within a second of a solar day.
+	if math.Abs(relDay-geo.SolarDay) > 1 {
+		t.Fatalf("relative day = %.3f s", relDay)
+	}
+}
+
+func TestPropagateConservesRadiusCircular(t *testing.T) {
+	e := Landsat8(epoch)
+	for dt := 0; dt < 6000; dt += 200 {
+		s := Propagate(e, epoch.Add(time.Duration(dt)*time.Second))
+		r := s.Position.Norm()
+		if math.Abs(r-e.SemiMajorAxisM) > 1 {
+			t.Fatalf("radius %f at %ds, want %f", r, dt, e.SemiMajorAxisM)
+		}
+	}
+}
+
+func TestPropagateVelocityMagnitude(t *testing.T) {
+	e := Landsat8(epoch)
+	s := Propagate(e, epoch.Add(1234*time.Second))
+	// Vis-viva for circular orbit: v = sqrt(mu/a) ~ 7.5 km/s at 705 km.
+	// J2 precession terms shift the inertial speed by a few m/s.
+	want := math.Sqrt(geo.EarthMu / e.SemiMajorAxisM)
+	if math.Abs(s.Velocity.Norm()-want) > 10 {
+		t.Fatalf("speed = %.1f, want %.1f", s.Velocity.Norm(), want)
+	}
+}
+
+func TestPropagateVelocityIsDerivative(t *testing.T) {
+	e := Landsat8(epoch)
+	e.MeanAnomalyRad = 0.7
+	t0 := epoch.Add(500 * time.Second)
+	h := 10 * time.Millisecond
+	s0 := Propagate(e, t0)
+	s1 := Propagate(e, t0.Add(h))
+	numVel := s1.Position.Sub(s0.Position).Scale(1 / h.Seconds())
+	if numVel.Sub(s0.Velocity).Norm() > 1 {
+		t.Fatalf("velocity mismatch: analytic %v numeric %v", s0.Velocity, numVel)
+	}
+}
+
+func TestPropagatePeriodicity(t *testing.T) {
+	e := Landsat8(epoch)
+	s0 := Propagate(e, epoch)
+	s1 := Propagate(e, epoch.Add(e.Period()))
+	// Position should nearly repeat after one period (small J2 node drift).
+	if s0.Position.Sub(s1.Position).Norm() > 50e3 {
+		t.Fatalf("orbit not periodic: drift %v m", s0.Position.Sub(s1.Position).Norm())
+	}
+}
+
+func TestSunSynchronousPrecession(t *testing.T) {
+	e := SunSynchronous(705e3, epoch)
+	rate := e.NodalPrecessionRate()
+	want := 2 * math.Pi / (365.2422 * geo.SolarDay)
+	if math.Abs(rate-want)/want > 1e-9 {
+		t.Fatalf("precession rate %.3e, want %.3e", rate, want)
+	}
+}
+
+func TestGroundSpeedLandsat(t *testing.T) {
+	// Landsat 8 ground speed is about 6.8 km/s (sub-satellite point); our
+	// spherical approximation should land close.
+	v := GroundSpeed(Landsat8(epoch))
+	if v < 6.5e3 || v > 7.1e3 {
+		t.Fatalf("ground speed = %.0f m/s", v)
+	}
+}
+
+func TestSubpointCoversLatitudes(t *testing.T) {
+	e := Landsat8(epoch)
+	var minLat, maxLat float64
+	for dt := time.Duration(0); dt < e.Period(); dt += 20 * time.Second {
+		g := Subpoint(e, epoch.Add(dt))
+		minLat = math.Min(minLat, g.LatDeg)
+		maxLat = math.Max(maxLat, g.LatDeg)
+	}
+	// A near-polar orbit must reach beyond +/-80 latitude.
+	if maxLat < 80 || minLat > -80 {
+		t.Fatalf("latitude range [%f, %f]", minLat, maxLat)
+	}
+}
+
+func TestGroundTrackLength(t *testing.T) {
+	e := Landsat8(epoch)
+	pts := GroundTrack(e, epoch, 10*time.Minute, 30*time.Second)
+	if len(pts) != 20 {
+		t.Fatalf("got %d points, want 20", len(pts))
+	}
+	// Consecutive points should be roughly groundSpeed*step apart.
+	d := geo.GreatCircleDistance(pts[0], pts[1])
+	want := GroundSpeed(e) * 30
+	if math.Abs(d-want)/want > 0.1 {
+		t.Fatalf("step distance %.0f, want ~%.0f", d, want)
+	}
+}
+
+func TestConstellationPhasing(t *testing.T) {
+	base := Landsat8(epoch)
+	sats := Constellation(base, 8)
+	if len(sats) != 8 {
+		t.Fatalf("got %d sats", len(sats))
+	}
+	for i, s := range sats {
+		want := geo.WrapTwoPi(2 * math.Pi * float64(i) / 8)
+		if math.Abs(geo.WrapPi(s.MeanAnomalyRad-want)) > 1e-12 {
+			t.Errorf("sat %d mean anomaly %v, want %v", i, s.MeanAnomalyRad, want)
+		}
+		if s.RAANRad != base.RAANRad {
+			t.Errorf("sat %d left the plane", i)
+		}
+	}
+}
+
+func TestConstellationSeparation(t *testing.T) {
+	// Evenly phased satellites must be spatially separated at all times.
+	sats := Constellation(Landsat8(epoch), 4)
+	tt := epoch.Add(777 * time.Second)
+	for i := 0; i < len(sats); i++ {
+		for j := i + 1; j < len(sats); j++ {
+			pi := Propagate(sats[i], tt).Position
+			pj := Propagate(sats[j], tt).Position
+			if pi.Sub(pj).Norm() < 1000e3 {
+				t.Fatalf("sats %d,%d only %.0f m apart", i, j, pi.Sub(pj).Norm())
+			}
+		}
+	}
+}
+
+func TestWalkerConstellationCount(t *testing.T) {
+	if err := quick.Check(func(nRaw, pRaw uint8) bool {
+		n := int(nRaw%56) + 1
+		p := int(pRaw%8) + 1
+		sats := WalkerConstellation(Landsat8(epoch), n, p)
+		return len(sats) == n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadElements(t *testing.T) {
+	bad := []Elements{
+		{SemiMajorAxisM: 1000, Epoch: epoch},                                      // inside Earth
+		{SemiMajorAxisM: 7e6, Eccentricity: 1.2, Epoch: epoch},                    // hyperbolic
+		{SemiMajorAxisM: 7e6, Eccentricity: -0.1, Epoch: epoch},                   // negative ecc
+		{SemiMajorAxisM: geo.EarthRadius + 705e3, Eccentricity: 0 /* no epoch */}, // zero epoch
+	}
+	for i, e := range bad {
+		if e.Validate() == nil {
+			t.Errorf("case %d: bad elements validated", i)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package pipeline models prior OEC work's answer to the computational
+// bottleneck: distributing each frame's tiles across a formation of
+// satellites connected by crosslinks, so that per-satellite compute time
+// fits the frame deadline (Section 2.1.3, "Limitations of parallel,
+// distributed computation"). Kodan's Figure 11 comparison uses the simple
+// ceil(frame time / deadline) population; this package adds the crosslink
+// costs that make real pipelines need even more satellites: tiles must be
+// transferred to their processors, and transfer time eats into the
+// deadline.
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Crosslink describes the inter-satellite link.
+type Crosslink struct {
+	// RateBps is the crosslink data rate.
+	RateBps float64
+	// SetupTime is the per-frame link establishment/pointing overhead.
+	SetupTime time.Duration
+}
+
+// TypicalSBand returns a representative nanosatellite crosslink: 2 Mbit/s
+// S-band with one second of per-frame coordination overhead.
+func TypicalSBand() Crosslink {
+	return Crosslink{RateBps: 2e6, SetupTime: time.Second}
+}
+
+// TypicalOptical returns a representative optical crosslink: 100 Mbit/s
+// with five seconds of acquisition.
+func TypicalOptical() Crosslink {
+	return Crosslink{RateBps: 100e6, SetupTime: 5 * time.Second}
+}
+
+// Plan is a feasible pipeline configuration.
+type Plan struct {
+	// Satellites is the formation size.
+	Satellites int
+	// TilesPerSat is the (maximum) tiles each satellite processes.
+	TilesPerSat int
+	// ComputeTime is each satellite's per-frame compute time.
+	ComputeTime time.Duration
+	// TransferTime is the per-frame crosslink time on the capturing
+	// satellite (it must ship every tile it does not process itself).
+	TransferTime time.Duration
+}
+
+// FrameTime returns the pipeline's effective per-frame latency on the
+// capturing satellite: shipping the other satellites' tiles plus its own
+// compute (remote compute overlaps with local compute once data arrives,
+// so the bound is transfer + local compute, assuming even splitting).
+func (p Plan) FrameTime() time.Duration {
+	return p.TransferTime + p.ComputeTime
+}
+
+// Size finds the smallest formation that meets the deadline for a frame of
+// the given tile count and per-tile cost, including crosslink costs. tile
+// bits are needed to cost the transfers. Returns an error when no
+// formation up to maxSats works (crosslink-bound workloads may never meet
+// the deadline: adding satellites increases shipped data).
+func Size(tiles int, perTile time.Duration, tileBits float64, link Crosslink,
+	deadline time.Duration, maxSats int) (Plan, error) {
+	if tiles <= 0 || perTile <= 0 || deadline <= 0 {
+		return Plan{}, fmt.Errorf("pipeline: non-positive workload")
+	}
+	if link.RateBps <= 0 {
+		return Plan{}, fmt.Errorf("pipeline: non-positive crosslink rate")
+	}
+	for n := 1; n <= maxSats; n++ {
+		per := int(math.Ceil(float64(tiles) / float64(n)))
+		compute := time.Duration(per) * perTile
+		var transfer time.Duration
+		if n > 1 {
+			shipped := float64(tiles-per) * tileBits
+			transfer = link.SetupTime +
+				time.Duration(shipped/link.RateBps*float64(time.Second))
+		}
+		plan := Plan{Satellites: n, TilesPerSat: per, ComputeTime: compute, TransferTime: transfer}
+		if plan.FrameTime() <= deadline {
+			return plan, nil
+		}
+		// Adding satellites only increases transfer; if transfer alone
+		// already exceeds the deadline, growing n cannot help.
+		if transfer > deadline {
+			break
+		}
+	}
+	return Plan{}, fmt.Errorf("pipeline: no formation of <= %d satellites meets %v (crosslink-bound)",
+		maxSats, deadline)
+}
+
+// IdealSize returns prior work's crosslink-free population bound,
+// ceil(frame time / deadline) — the number Figure 11 uses.
+func IdealSize(tiles int, perTile, deadline time.Duration) int {
+	if deadline <= 0 {
+		panic("pipeline: non-positive deadline")
+	}
+	total := time.Duration(tiles) * perTile
+	n := int(total / deadline)
+	if total%deadline != 0 {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+)
+
+// App 7 on the Orin at 121 tiles: 2040 ms per tile against a ~24 s
+// deadline — the deepest bottleneck in the evaluation.
+const (
+	app7Tiles   = 121
+	app7PerTile = 2040 * time.Millisecond
+	deadline    = 24 * time.Second
+)
+
+// tileBits for the multispectral payload at 121 tiles/frame: ~8 Gbit / 121.
+const tileBits = 8e9 / 121
+
+func TestIdealSizeMatchesFigure11(t *testing.T) {
+	// ceil(121 x 2.04 s / 24 s) = 11 satellites (12 at the paper's 22 s).
+	if got := IdealSize(app7Tiles, app7PerTile, deadline); got != 11 {
+		t.Fatalf("ideal size = %d, want 11", got)
+	}
+	if got := IdealSize(app7Tiles, app7PerTile, 22*time.Second); got != 12 {
+		t.Fatalf("ideal size at 22 s = %d, want 12", got)
+	}
+	// A workload that already fits needs one satellite.
+	if got := IdealSize(9, 100*time.Millisecond, deadline); got != 1 {
+		t.Fatalf("light workload size = %d", got)
+	}
+}
+
+func TestOpticalCrosslinkNeedsMoreThanIdeal(t *testing.T) {
+	// With a real 100 Mbit/s optical crosslink, shipping ~110 tiles of a
+	// 8 Gbit frame takes ~73 s — far beyond the deadline: the pipeline is
+	// crosslink-bound regardless of formation size.
+	_, err := Size(app7Tiles, app7PerTile, tileBits, TypicalOptical(), deadline, 256)
+	if err == nil {
+		t.Fatal("optical pipeline unexpectedly feasible for full frames")
+	}
+}
+
+func TestPipelineFeasibleForLightTiles(t *testing.T) {
+	// Thumbnailed tiles (100x smaller) make the pipeline feasible; the
+	// plan must meet the deadline and ship only what it does not process.
+	plan, err := Size(app7Tiles, app7PerTile, tileBits/100, TypicalOptical(), deadline, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.FrameTime() > deadline {
+		t.Fatalf("plan misses deadline: %v", plan.FrameTime())
+	}
+	if plan.Satellites < IdealSize(app7Tiles, app7PerTile, deadline) {
+		t.Fatalf("crosslinked plan (%d sats) beat the crosslink-free bound (%d)",
+			plan.Satellites, IdealSize(app7Tiles, app7PerTile, deadline))
+	}
+	if plan.TilesPerSat*plan.Satellites < app7Tiles {
+		t.Fatal("plan does not cover all tiles")
+	}
+}
+
+func TestSingleSatelliteNoTransfer(t *testing.T) {
+	plan, err := Size(9, 100*time.Millisecond, tileBits, TypicalSBand(), deadline, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Satellites != 1 {
+		t.Fatalf("satellites = %d", plan.Satellites)
+	}
+	if plan.TransferTime != 0 {
+		t.Fatalf("lone satellite shipped data: %v", plan.TransferTime)
+	}
+}
+
+func TestSizeErrors(t *testing.T) {
+	if _, err := Size(0, time.Second, 1, TypicalSBand(), deadline, 4); err == nil {
+		t.Fatal("zero tiles accepted")
+	}
+	if _, err := Size(4, time.Second, 1, Crosslink{}, deadline, 4); err == nil {
+		t.Fatal("zero-rate crosslink accepted")
+	}
+}
+
+func TestIdealSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	IdealSize(1, time.Second, 0)
+}

@@ -1,0 +1,443 @@
+// Package policy implements Kodan's selection logic (Section 3.4): the
+// per-deployment policy that fixes the frame tile count and, for every
+// context, one of four actions — discard, downlink without processing,
+// run the context-specialized model, or run the generic reference model.
+//
+// The one-time transformation step sweeps tilings and per-context actions
+// against an analytic model of the deployment — frame deadline, measured
+// per-tile execution times, measured per-context confusion rates, and the
+// simulated downlink capacity — and picks the combination maximizing the
+// data value density of the saturated downlink. The same analytic model
+// also evaluates the bent-pipe and direct-deploy baselines, so every DVD
+// number in the reproduction comes from one accounting.
+package policy
+
+import (
+	"fmt"
+	"time"
+
+	"kodan/internal/app"
+	"kodan/internal/hw"
+	"kodan/internal/nn"
+	"kodan/internal/tiling"
+	"kodan/internal/value"
+)
+
+// Action is a per-context runtime decision.
+type Action int
+
+// Actions, in the order the paper describes them (Figure 7's selection
+// logic: Discard / specialized model / Downlink).
+const (
+	// Discard drops the tile without processing (mostly low-value context).
+	Discard Action = iota
+	// Downlink transmits the tile unprocessed (mostly high-value context).
+	Downlink
+	// Specialized runs the single-context specialized model and transmits
+	// the predicted high-value pixels.
+	Specialized
+	// Merged runs the multi-context (dominant-geography group) specialized
+	// model — Section 3.3's "specialized across multiple contexts" — and
+	// transmits the predicted high-value pixels.
+	Merged
+	// Generic runs the reference model and transmits predicted high-value
+	// pixels.
+	Generic
+	numActions
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case Discard:
+		return "discard"
+	case Downlink:
+		return "downlink"
+	case Specialized:
+		return "specialized"
+	case Merged:
+		return "merged"
+	case Generic:
+		return "generic"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// ContextProfile is the transformation step's measured knowledge of one
+// context at one tiling.
+type ContextProfile struct {
+	// TileFrac is the fraction of tiles the context engine assigns here.
+	TileFrac float64
+	// HighValueFrac is the pixel-weighted high-value fraction.
+	HighValueFrac float64
+	// Generic, Special, and Merged are the measured validation confusions
+	// of the reference, single-context, and multi-context models on this
+	// context.
+	Generic nn.Confusion
+	Special nn.Confusion
+	Merged  nn.Confusion
+}
+
+// TilingProfile aggregates the per-context profiles of one tiling.
+type TilingProfile struct {
+	Tiling   tiling.Tiling
+	Contexts []ContextProfile
+}
+
+// Prevalence returns the tile-weighted high-value fraction.
+func (tp TilingProfile) Prevalence() float64 {
+	var p float64
+	for _, c := range tp.Contexts {
+		p += c.TileFrac * c.HighValueFrac
+	}
+	return p
+}
+
+// Env describes the deployment environment the logic is generated for.
+type Env struct {
+	// App is the application (supplies per-tile latencies).
+	App app.Architecture
+	// Target is the hardware platform.
+	Target hw.Target
+	// Deadline is the frame deadline from the orbit and grid.
+	Deadline time.Duration
+	// CapacityFrac is the downlink capacity per observed frame as a
+	// fraction of the frame size (e.g. 0.21 for a lone Landsat satellite).
+	CapacityFrac float64
+	// FillIdle downlinks raw unprocessed frames when the processed output
+	// does not saturate the link (maximizes link utility).
+	FillIdle bool
+	// UseEngine runs the context engine on every tile (Kodan); baselines
+	// that never consult contexts leave it false.
+	UseEngine bool
+	// MaxDutyCycle optionally caps the compute duty cycle (frame time over
+	// deadline) the optimizer may select — the power-aware variant for
+	// energy-limited buses where "claiming idle compute time" (Section
+	// 3.4) would blow the electrical budget. Zero means uncapped.
+	MaxDutyCycle float64
+}
+
+// dutyCycle returns the compute duty a frame time implies.
+func (e Env) dutyCycle(ft time.Duration) float64 {
+	if e.Deadline <= 0 {
+		return 0
+	}
+	d := float64(ft) / float64(e.Deadline)
+	if d > 1 {
+		d = 1
+	}
+	return d
+}
+
+// admissible reports whether a frame time respects the duty-cycle cap.
+func (e Env) admissible(ft time.Duration) bool {
+	return e.MaxDutyCycle <= 0 || e.dutyCycle(ft) <= e.MaxDutyCycle+1e-12
+}
+
+// Selection is a generated selection logic.
+type Selection struct {
+	Tiling  tiling.Tiling
+	Actions []Action // indexed by context
+}
+
+// ElidedFrac returns the tile fraction that skips model execution.
+func (s Selection) ElidedFrac(tp TilingProfile) float64 {
+	var f float64
+	for c, a := range s.Actions {
+		if a == Discard || a == Downlink {
+			f += tp.Contexts[c].TileFrac
+		}
+	}
+	return f
+}
+
+// Estimate is the analytic evaluation of a selection in an environment.
+type Estimate struct {
+	// FrameTime is the expected processing time per frame.
+	FrameTime time.Duration
+	// ProcessedFrac is the fraction of captured frames processed before
+	// the next capture (1 when the deadline is met on average).
+	ProcessedFrac float64
+	// Ledger is the per-observed-frame accounting in frame-size units.
+	Ledger value.Ledger
+	// DVD is the data value density of the saturated downlink.
+	DVD float64
+}
+
+// FrameTime returns the expected per-frame processing time of a selection.
+func FrameTime(s Selection, tp TilingProfile, env Env) time.Duration {
+	tiles := float64(s.Tiling.Tiles())
+	var ms float64
+	if env.UseEngine {
+		ms += tiles * env.Target.ContextEngineMsPerTile()
+	}
+	for c, a := range s.Actions {
+		if a == Specialized || a == Merged || a == Generic {
+			ms += tiles * tp.Contexts[c].TileFrac * env.App.PerTileMs[env.Target]
+		}
+	}
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// Evaluate computes the expected deployment accounting of a selection.
+// All bit quantities are fractions of one frame's bits, averaged over
+// observed frames; scaling to a real deployment multiplies by frame size
+// and frame count, which cancels out of every ratio.
+func Evaluate(s Selection, tp TilingProfile, env Env) Estimate {
+	return EvaluateAtTime(s, tp, env, FrameTime(s, tp, env))
+}
+
+// EvaluateAtTime is Evaluate with the frame processing time overridden —
+// used by the Figure 10 sweep, which varies execution time as a free
+// parameter to map DVD against compute performance.
+func EvaluateAtTime(s Selection, tp TilingProfile, env Env, ft time.Duration) Estimate {
+	if len(s.Actions) != len(tp.Contexts) {
+		panic("policy: action/context count mismatch")
+	}
+	p := 1.0
+	if ft > env.Deadline && ft > 0 {
+		p = float64(env.Deadline) / float64(ft)
+	}
+
+	// Build the per-frame chunk mix from processed frames.
+	var chunks []value.Chunk
+	for c, a := range s.Actions {
+		cp := tp.Contexts[c]
+		switch a {
+		case Discard:
+		case Downlink:
+			chunks = append(chunks, value.Chunk{
+				Bits:      p * cp.TileFrac,
+				ValueBits: p * cp.TileFrac * cp.HighValueFrac,
+			})
+		case Specialized, Merged, Generic:
+			conf := cp.Special
+			switch a {
+			case Merged:
+				conf = cp.Merged
+			case Generic:
+				conf = cp.Generic
+			}
+			total := float64(conf.Total())
+			if total == 0 {
+				continue
+			}
+			kept := conf.PositiveRate()
+			tp2 := float64(conf.TP) / total
+			chunks = append(chunks, value.Chunk{
+				Bits:      p * cp.TileFrac * kept,
+				ValueBits: p * cp.TileFrac * tp2,
+			})
+		}
+	}
+	// Unprocessed frames are raw; with FillIdle they pad the queue.
+	prevalence := tp.Prevalence()
+	if env.FillIdle && p < 1 {
+		chunks = append(chunks, value.Chunk{
+			Bits:      1 - p,
+			ValueBits: (1 - p) * prevalence,
+		})
+	}
+
+	bits, val := value.Drain(chunks, env.CapacityFrac)
+	led := value.Ledger{
+		CapacityBits:          env.CapacityFrac,
+		DownlinkedBits:        bits,
+		HighValueBits:         val,
+		ObservedBits:          1,
+		ObservedHighValueBits: prevalence,
+	}
+	return Estimate{FrameTime: ft, ProcessedFrac: p, Ledger: led, DVD: led.DVD()}
+}
+
+// EvaluateBentPipe returns the bent-pipe baseline: raw frames downlinked
+// indiscriminately until the link saturates.
+func EvaluateBentPipe(prevalence float64, env Env) Estimate {
+	led := value.Ledger{
+		CapacityBits:          env.CapacityFrac,
+		DownlinkedBits:        env.CapacityFrac,
+		HighValueBits:         env.CapacityFrac * prevalence,
+		ObservedBits:          1,
+		ObservedHighValueBits: prevalence,
+	}
+	if env.CapacityFrac > 1 {
+		// More capacity than data: everything goes down.
+		led.DownlinkedBits = 1
+		led.HighValueBits = prevalence
+	}
+	return Estimate{ProcessedFrac: 1, Ledger: led, DVD: led.DVD()}
+}
+
+// DirectSelection returns the direct-deployment policy of prior OEC work:
+// every tile through the reference model at the given tiling, no context
+// engine.
+func DirectSelection(tp TilingProfile) Selection {
+	actions := make([]Action, len(tp.Contexts))
+	for i := range actions {
+		actions[i] = Generic
+	}
+	return Selection{Tiling: tp.Tiling, Actions: actions}
+}
+
+// Optimize generates the selection logic: it sweeps every candidate tiling
+// and per-context action assignment and returns the selection maximizing
+// DVD (ties broken toward higher recovery, then shorter frame time). For
+// context counts where the exhaustive sweep would be large (> maxExhaustive
+// combinations) it falls back to deterministic hill climbing from the
+// all-specialized assignment.
+func Optimize(profiles []TilingProfile, env Env) (Selection, Estimate) {
+	if len(profiles) == 0 {
+		panic("policy: no tiling profiles")
+	}
+	env.UseEngine = true
+	var best Selection
+	var bestEst Estimate
+	first := true
+	for _, tp := range profiles {
+		sel, est := optimizeActions(tp, env)
+		if first || better(est, bestEst) {
+			best, bestEst = sel, est
+			first = false
+		}
+	}
+	return best, bestEst
+}
+
+// optActions is the paper's selection-logic action set (Figure 7):
+// discard, downlink, or one of the specialized models (single-context or
+// multi-context). The generic model remains available to Evaluate for the
+// direct-deploy baseline but is dominated by the specialists at equal
+// cost, so the optimizer skips it.
+var optActions = []Action{Discard, Downlink, Specialized, Merged}
+
+// maxExhaustive bounds the exhaustive action sweep (4^8).
+const maxExhaustive = 65536
+
+func optimizeActions(tp TilingProfile, env Env) (Selection, Estimate) {
+	k := len(tp.Contexts)
+	combos := 1
+	exhaustive := true
+	for i := 0; i < k; i++ {
+		combos *= len(optActions)
+		if combos > maxExhaustive {
+			exhaustive = false
+			break
+		}
+	}
+	if exhaustive {
+		return exhaustiveSearch(tp, env, combos)
+	}
+	return hillClimb(tp, env)
+}
+
+func exhaustiveSearch(tp TilingProfile, env Env, combos int) (Selection, Estimate) {
+	k := len(tp.Contexts)
+	sel := Selection{Tiling: tp.Tiling, Actions: make([]Action, k)}
+	best := Selection{Tiling: tp.Tiling, Actions: make([]Action, k)}
+	var bestEst Estimate
+	first := true
+	for code := 0; code < combos; code++ {
+		c := code
+		for i := 0; i < k; i++ {
+			sel.Actions[i] = optActions[c%len(optActions)]
+			c /= len(optActions)
+		}
+		est := Evaluate(sel, tp, env)
+		if !env.admissible(est.FrameTime) && !isAllElide(sel) {
+			continue
+		}
+		if first || better(est, bestEst) {
+			copy(best.Actions, sel.Actions)
+			bestEst = est
+			first = false
+		}
+	}
+	if first {
+		// No admissible combination (cap tighter than even full elision):
+		// fall back to all-discard, which has no model cost.
+		for i := range best.Actions {
+			best.Actions[i] = Discard
+		}
+		bestEst = Evaluate(best, tp, env)
+	}
+	return best, bestEst
+}
+
+// isAllElide reports whether a selection runs no models at all (always
+// admissible as a fallback: its duty is the context engine only).
+func isAllElide(s Selection) bool {
+	for _, a := range s.Actions {
+		if a == Specialized || a == Merged || a == Generic {
+			return false
+		}
+	}
+	return true
+}
+
+func hillClimb(tp TilingProfile, env Env) (Selection, Estimate) {
+	k := len(tp.Contexts)
+	sel := Selection{Tiling: tp.Tiling, Actions: make([]Action, k)}
+	for i := range sel.Actions {
+		sel.Actions[i] = Specialized
+	}
+	est := Evaluate(sel, tp, env)
+	for improved := true; improved; {
+		improved = false
+		for i := 0; i < k; i++ {
+			orig := sel.Actions[i]
+			for a := Action(0); a < numActions; a++ {
+				if a == orig {
+					continue
+				}
+				sel.Actions[i] = a
+				cand := Evaluate(sel, tp, env)
+				if (env.admissible(cand.FrameTime) || isAllElide(sel)) && better(cand, est) {
+					est = cand
+					improved = true
+					orig = a
+				} else {
+					sel.Actions[i] = orig
+				}
+			}
+		}
+	}
+	return sel, est
+}
+
+// better orders estimates: DVD first, then recovery, then frame time.
+func better(a, b Estimate) bool {
+	const eps = 1e-12
+	if a.DVD > b.DVD+eps {
+		return true
+	}
+	if a.DVD < b.DVD-eps {
+		return false
+	}
+	ar, br := a.Ledger.Recovery(), b.Ledger.Recovery()
+	if ar > br+eps {
+		return true
+	}
+	if ar < br-eps {
+		return false
+	}
+	return a.FrameTime < b.FrameTime
+}
+
+// SatellitesForCoverage returns the constellation population needed for
+// continuous ground-track processing coverage when one satellite needs
+// frameTime per frame against the deadline — prior OEC work's
+// satellite-parallel pipelining (Figure 11).
+func SatellitesForCoverage(frameTime, deadline time.Duration) int {
+	if deadline <= 0 {
+		panic("policy: non-positive deadline")
+	}
+	if frameTime <= deadline {
+		return 1
+	}
+	n := int(frameTime / deadline)
+	if frameTime%deadline != 0 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,125 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"kodan/internal/hw"
+	"kodan/internal/orbit"
+	"kodan/internal/policy"
+)
+
+var epoch = time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC)
+
+func estWithFrameTime(d time.Duration) policy.Estimate {
+	return policy.Estimate{FrameTime: d}
+}
+
+func TestEclipseFractionLEO(t *testing.T) {
+	e := orbit.Landsat8(epoch)
+	f := EclipseFraction(e)
+	// LEO worst-case eclipse is roughly 35-40% of the orbit.
+	if f < 0.3 || f > 0.45 {
+		t.Fatalf("eclipse fraction = %.3f", f)
+	}
+	// Higher orbits see less shadow.
+	geo := e
+	geo.SemiMajorAxisM = 42164e3
+	if EclipseFraction(geo) >= f {
+		t.Fatal("eclipse fraction not decreasing with altitude")
+	}
+}
+
+func TestOrinKodanFeasibleOnThreeU(t *testing.T) {
+	// A Kodan deployment on the Orin 15W with an elision-heavy logic
+	// (frame time well under the deadline) must fit a 3U power budget —
+	// the design point the paper argues for.
+	deadline := 24 * time.Second
+	b, err := Evaluate(ThreeUBus(), orbit.Landsat8(epoch), hw.Orin15W,
+		estWithFrameTime(8*time.Second), deadline, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Feasible() {
+		t.Fatalf("Kodan/Orin infeasible on 3U: %+v", b)
+	}
+	if b.ComputeDutyCycle < 0.3 || b.ComputeDutyCycle > 0.4 {
+		t.Fatalf("duty cycle = %.3f", b.ComputeDutyCycle)
+	}
+}
+
+func TestDesktopTargetsInfeasibleOnThreeU(t *testing.T) {
+	// The i7 and 1070 Ti draw 140-180 W: impossible on a cubesat bus —
+	// the paper calls them "forward-looking" hardware.
+	deadline := 24 * time.Second
+	for _, target := range []hw.Target{hw.I7_7800X, hw.GTX1070Ti} {
+		b, err := Evaluate(ThreeUBus(), orbit.Landsat8(epoch), target,
+			estWithFrameTime(20*time.Second), deadline, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Feasible() {
+			t.Fatalf("%v feasible on a 3U bus: %+v", target, b)
+		}
+	}
+}
+
+func TestBottleneckedDeploymentRunsFlatOut(t *testing.T) {
+	// Direct deploy with a 247 s frame time never idles: duty 1, and the
+	// Orin still fits the energy envelope (the bottleneck is compute, not
+	// power) but spends far more energy per frame.
+	deadline := 24 * time.Second
+	kodan, _ := Evaluate(ThreeUBus(), orbit.Landsat8(epoch), hw.Orin15W,
+		estWithFrameTime(8*time.Second), deadline, 0.2)
+	direct, _ := Evaluate(ThreeUBus(), orbit.Landsat8(epoch), hw.Orin15W,
+		estWithFrameTime(247*time.Second), deadline, 0.2)
+	if direct.ComputeDutyCycle != 1 {
+		t.Fatalf("bottlenecked duty = %v", direct.ComputeDutyCycle)
+	}
+	if direct.EnergyPerFrameJ <= kodan.EnergyPerFrameJ {
+		t.Fatal("elision did not reduce energy per frame")
+	}
+	// Kodan's elision saves roughly the duty-cycle ratio in compute energy.
+	ratio := direct.EnergyPerFrameJ / kodan.EnergyPerFrameJ
+	if ratio < 2 {
+		t.Fatalf("energy saving ratio = %.2f", ratio)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	e := orbit.Landsat8(epoch)
+	if _, err := Evaluate(Bus{}, e, hw.Orin15W, estWithFrameTime(time.Second), time.Second, 0); err == nil {
+		t.Fatal("bad bus accepted")
+	}
+	if _, err := Evaluate(ThreeUBus(), e, hw.Orin15W, estWithFrameTime(time.Second), 0, 0); err == nil {
+		t.Fatal("zero deadline accepted")
+	}
+	if _, err := Evaluate(ThreeUBus(), e, hw.Orin15W, estWithFrameTime(time.Second), time.Second, 1.5); err == nil {
+		t.Fatal("bad radio duty accepted")
+	}
+}
+
+func TestComputeDrawPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ComputeDraw(hw.Orin15W, 1.5)
+}
+
+func TestBatteryRideThrough(t *testing.T) {
+	b, err := Evaluate(ThreeUBus(), orbit.Landsat8(epoch), hw.Orin15W,
+		estWithFrameTime(8*time.Second), 24*time.Second, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 Wh at ~10 W load: several hours of autonomy.
+	if b.BatteryHours < 2 {
+		t.Fatalf("battery hours = %.2f", b.BatteryHours)
+	}
+	if math.IsInf(b.BatteryHours, 0) {
+		t.Fatal("battery hours infinite")
+	}
+}

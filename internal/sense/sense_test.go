@@ -1,0 +1,137 @@
+package sense
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"kodan/internal/orbit"
+	"kodan/internal/wrs"
+)
+
+var epoch = time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC)
+
+func testImager(t *testing.T) Imager {
+	t.Helper()
+	im, err := NewImager(Landsat8MS(), orbit.Landsat8(epoch), wrs.Landsat8Grid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestCameraValidate(t *testing.T) {
+	if err := Landsat8MS().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Camera{
+		{FramePx: 0, Bands: 1, BitsPerSample: 1, Compression: 1, GSDm: 1},
+		{FramePx: 10, Bands: 0, BitsPerSample: 1, Compression: 1, GSDm: 1},
+		{FramePx: 10, Bands: 1, BitsPerSample: 0, Compression: 1, GSDm: 1},
+		{FramePx: 10, Bands: 1, BitsPerSample: 1, Compression: 0, GSDm: 1},
+		{FramePx: 10, Bands: 1, BitsPerSample: 1, Compression: 1.5, GSDm: 1},
+		{FramePx: 10, Bands: 1, BitsPerSample: 1, Compression: 1, GSDm: 0},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+}
+
+func TestFrameBits(t *testing.T) {
+	c := Camera{FramePx: 100, Bands: 2, BitsPerSample: 8, Compression: 0.5, GSDm: 10}
+	if got := c.FrameBits(); got != 100*100*2*8*0.5 {
+		t.Fatalf("FrameBits = %v", got)
+	}
+	// The calibrated Landsat frame is in the single-gigabyte class.
+	ms := Landsat8MS().FrameBits()
+	if ms < 5e9 || ms > 9e9 {
+		t.Fatalf("Landsat frame = %.2e bits, want 5-9 Gbit", ms)
+	}
+	// Hyperspectral frames are several times larger (Figure 2's regime).
+	if ratio := Landsat8Hyper().FrameBits() / ms; ratio < 5 || ratio > 10 {
+		t.Fatalf("hyper/ms ratio = %.1f", ratio)
+	}
+}
+
+func TestFrameDeadlineMatchesPaper(t *testing.T) {
+	im := testImager(t)
+	d := im.FrameDeadline().Seconds()
+	if d < 21 || d > 26 {
+		t.Fatalf("frame deadline = %.1f s, want ~22-24", d)
+	}
+}
+
+func TestFramesPerDayNear3600(t *testing.T) {
+	im := testImager(t)
+	if f := im.FramesPerDay(); f < 3300 || f > 3900 {
+		t.Fatalf("frames/day = %.0f", f)
+	}
+}
+
+func TestCapturesCadence(t *testing.T) {
+	im := testImager(t)
+	caps := im.Captures(epoch, time.Hour)
+	wantN := int(time.Hour / im.FrameDeadline())
+	if math.Abs(float64(len(caps)-wantN)) > 1 {
+		t.Fatalf("captures in 1h = %d, want ~%d", len(caps), wantN)
+	}
+	for i := 1; i < len(caps); i++ {
+		gap := caps[i].Time.Sub(caps[i-1].Time)
+		if gap != im.FrameDeadline() {
+			t.Fatalf("gap %v at %d, want %v", gap, i, im.FrameDeadline())
+		}
+	}
+}
+
+func TestCapturesSceneUniqueWithinRepeatCycle(t *testing.T) {
+	// Within a few orbits no scene should repeat (revisit takes 16 days).
+	im := testImager(t)
+	caps := im.Captures(epoch, 5*time.Hour)
+	seen := map[wrs.Scene]bool{}
+	for _, c := range caps {
+		if seen[c.Scene] {
+			t.Fatalf("scene %v repeated within 5h", c.Scene)
+		}
+		seen[c.Scene] = true
+	}
+}
+
+func TestCapturesWindowed(t *testing.T) {
+	im := testImager(t)
+	start := epoch.Add(13 * time.Minute)
+	caps := im.Captures(start, 30*time.Minute)
+	for _, c := range caps {
+		// Capture midpoints may trail the nominal window by half a frame.
+		if c.Time.Before(start) || c.Time.After(start.Add(30*time.Minute+im.FrameDeadline())) {
+			t.Fatalf("capture at %v outside window", c.Time)
+		}
+	}
+	// Two adjacent windows give disjoint, continuous schedules.
+	later := im.Captures(start.Add(30*time.Minute), 30*time.Minute)
+	if len(later) == 0 || len(caps) == 0 {
+		t.Fatal("no captures")
+	}
+	if gap := later[0].Time.Sub(caps[len(caps)-1].Time); gap != im.FrameDeadline() {
+		t.Fatalf("cross-window gap %v", gap)
+	}
+}
+
+func TestNewImagerRejectsBadConfig(t *testing.T) {
+	if _, err := NewImager(Camera{}, orbit.Landsat8(epoch), wrs.Landsat8Grid()); err == nil {
+		t.Fatal("bad camera accepted")
+	}
+	if _, err := NewImager(Landsat8MS(), orbit.Elements{}, wrs.Landsat8Grid()); err == nil {
+		t.Fatal("bad orbit accepted")
+	}
+}
+
+func TestFrameWidthMatchesRowPitch(t *testing.T) {
+	// The camera frame should span roughly one row pitch so that one frame
+	// maps to one scene: 2*pi*Re / 248 rows ~ 161 km.
+	c := Landsat8MS()
+	if w := c.FrameWidthM(); w < 150e3 || w > 175e3 {
+		t.Fatalf("frame width = %.0f m", w)
+	}
+}

@@ -1,0 +1,227 @@
+// Package sim composes the substrate packages — orbital mechanics, the
+// reference grid, the imaging payload, ground stations, and the radio link —
+// into constellation-scale simulations. It is the reproduction's equivalent
+// of the cote simulator the paper uses to quantify the downlink bottleneck
+// (Figures 2-5): it produces, for an N-satellite constellation over a time
+// span, the full capture schedule and the contention-resolved downlink
+// budget of every satellite.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"kodan/internal/link"
+	"kodan/internal/orbit"
+	"kodan/internal/sense"
+	"kodan/internal/station"
+	"kodan/internal/wrs"
+	"kodan/internal/xrand"
+)
+
+// Config describes one constellation simulation.
+type Config struct {
+	// Epoch is the simulation start time.
+	Epoch time.Time
+	// Span is the simulated duration.
+	Span time.Duration
+	// BaseOrbit is the orbit every satellite shares (phased copies).
+	BaseOrbit orbit.Elements
+	// Satellites is the constellation population.
+	Satellites int
+	// Planes spreads the constellation over this many orbital planes;
+	// 1 (the default when zero) keeps the paper's single-plane model.
+	Planes int
+	// RandomPhases draws in-plane phases from a seeded stream instead of
+	// spacing them evenly. Uncoordinated constellations (independently
+	// operated satellites sharing an orbit regime) do not phase-lock to
+	// the reference grid, so their daily coverage follows coupon-collector
+	// statistics rather than perfect tiling — the regime of Figure 3.
+	RandomPhases bool
+	// PhaseSeed seeds the random phases (default 1).
+	PhaseSeed uint64
+	// Camera is the imaging payload carried by every satellite.
+	Camera sense.Camera
+	// Grid is the world reference grid.
+	Grid wrs.Grid
+	// Stations is the ground segment.
+	Stations []station.Station
+	// Radio is the downlink radio.
+	Radio link.Radio
+	// ScanStep is the contact-window search step (default 30 s).
+	ScanStep time.Duration
+	// Quantum is the station-time allocation granularity (default 10 s).
+	Quantum time.Duration
+}
+
+// withDefaults fills unset tunables.
+func (c Config) withDefaults() Config {
+	if c.ScanStep == 0 {
+		c.ScanStep = 30 * time.Second
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 10 * time.Second
+	}
+	if c.Planes == 0 {
+		c.Planes = 1
+	}
+	return c
+}
+
+// validate rejects configurations that cannot be simulated.
+func (c Config) validate() error {
+	if c.Satellites <= 0 {
+		return fmt.Errorf("sim: non-positive satellite count %d", c.Satellites)
+	}
+	if c.Span <= 0 {
+		return fmt.Errorf("sim: non-positive span %v", c.Span)
+	}
+	if err := c.BaseOrbit.Validate(); err != nil {
+		return err
+	}
+	if err := c.Camera.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Landsat8Config returns the paper's reference configuration: the Landsat 8
+// orbit, camera, grid, ground segment, and radio with n satellites evenly
+// phased in one plane over the given span.
+func Landsat8Config(epoch time.Time, span time.Duration, n int) Config {
+	return Config{
+		Epoch:      epoch,
+		Span:       span,
+		BaseOrbit:  orbit.Landsat8(epoch),
+		Satellites: n,
+		Camera:     sense.Landsat8MS(),
+		Grid:       wrs.Landsat8Grid(),
+		Stations:   station.LandsatSegment(),
+		Radio:      link.Landsat8Radio(),
+	}
+}
+
+// Result holds everything a simulation produced.
+type Result struct {
+	// Config echoes the (defaulted) configuration that ran.
+	Config Config
+	// Orbits lists the per-satellite element sets.
+	Orbits []orbit.Elements
+	// Captures lists every frame capture per satellite, in time order.
+	Captures [][]sense.Capture
+	// Grants is the contention-resolved station-time schedule.
+	Grants []link.Grant
+	// Served is the total granted downlink time per satellite.
+	Served []time.Duration
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	var sats []orbit.Elements
+	switch {
+	case cfg.RandomPhases:
+		seed := cfg.PhaseSeed
+		if seed == 0 {
+			seed = 1
+		}
+		rng := xrand.New(seed)
+		sats = make([]orbit.Elements, cfg.Satellites)
+		for i := range sats {
+			e := cfg.BaseOrbit
+			e.MeanAnomalyRad = rng.Range(0, 2*math.Pi)
+			sats[i] = e
+		}
+	case cfg.Planes > 1:
+		sats = orbit.WalkerConstellation(cfg.BaseOrbit, cfg.Satellites, cfg.Planes)
+	default:
+		sats = orbit.Constellation(cfg.BaseOrbit, cfg.Satellites)
+	}
+
+	res := &Result{Config: cfg, Orbits: sats}
+
+	// Capture schedules.
+	res.Captures = make([][]sense.Capture, len(sats))
+	for i, e := range sats {
+		im, err := sense.NewImager(cfg.Camera, e, cfg.Grid)
+		if err != nil {
+			return nil, err
+		}
+		caps := im.Captures(cfg.Epoch, cfg.Span)
+		for j := range caps {
+			caps[j].Sat = i
+		}
+		res.Captures[i] = caps
+	}
+
+	// Contact windows and contention-resolved allocation.
+	windows := make([][][]station.Window, len(cfg.Stations))
+	for si, st := range cfg.Stations {
+		windows[si] = make([][]station.Window, len(sats))
+		for j, e := range sats {
+			windows[si][j] = station.ContactWindows(st, e, cfg.Epoch, cfg.Span, cfg.ScanStep)
+		}
+	}
+	res.Grants = link.Allocate(link.Problem{
+		Start:   cfg.Epoch,
+		Span:    cfg.Span,
+		Quantum: cfg.Quantum,
+		Windows: windows,
+	})
+	res.Served = link.PerSatServed(res.Grants, len(sats))
+	return res, nil
+}
+
+// FramesObserved returns the total frames captured by the constellation.
+func (r *Result) FramesObserved() int {
+	total := 0
+	for _, caps := range r.Captures {
+		total += len(caps)
+	}
+	return total
+}
+
+// UniqueScenes returns the number of distinct grid scenes observed.
+func (r *Result) UniqueScenes() int {
+	cov := wrs.NewCoverage(r.Config.Grid)
+	for _, caps := range r.Captures {
+		for _, c := range caps {
+			cov.Mark(c.Scene)
+		}
+	}
+	return cov.Count()
+}
+
+// DownlinkBits returns the total downlink capacity per satellite in bits.
+func (r *Result) DownlinkBits() []float64 {
+	out := make([]float64, len(r.Served))
+	for i, d := range r.Served {
+		out[i] = r.Config.Radio.Bits(d)
+	}
+	return out
+}
+
+// FrameCapacity returns the total number of whole frames the constellation
+// can downlink within its granted station time.
+func (r *Result) FrameCapacity() float64 {
+	var bits float64
+	for _, b := range r.DownlinkBits() {
+		bits += b
+	}
+	return bits / r.Config.Camera.FrameBits()
+}
+
+// FrameCapacityPerSat returns per-satellite downlinkable frame counts.
+func (r *Result) FrameCapacityPerSat() []float64 {
+	bits := r.DownlinkBits()
+	out := make([]float64, len(bits))
+	for i, b := range bits {
+		out[i] = b / r.Config.Camera.FrameBits()
+	}
+	return out
+}

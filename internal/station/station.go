@@ -1,0 +1,129 @@
+// Package station models the ground segment: ground-station locations,
+// line-of-sight visibility to satellites above an elevation mask, and
+// contact-window search. The default segment reproduces the Landsat 8
+// ground network the paper models with cote (Sioux Falls, Gilmore Creek,
+// and Svalbard).
+package station
+
+import (
+	"fmt"
+	"time"
+
+	"kodan/internal/geo"
+	"kodan/internal/orbit"
+)
+
+// Station is a ground station.
+type Station struct {
+	// Name identifies the station in ledgers and logs.
+	Name string
+	// Location is the station's geodetic position.
+	Location geo.Geodetic
+	// MinElevationRad is the elevation mask: the satellite is visible only
+	// when its elevation exceeds this angle.
+	MinElevationRad float64
+}
+
+// String implements fmt.Stringer.
+func (s Station) String() string {
+	return fmt.Sprintf("%s (%s)", s.Name, s.Location)
+}
+
+// ecef returns the station position in Earth-fixed coordinates.
+func (s Station) ecef() geo.Vec3 { return geo.GeodeticToECEF(s.Location) }
+
+// LandsatSegment returns the three-station ground network used by the
+// Landsat program, with a 5-degree elevation mask.
+func LandsatSegment() []Station {
+	mask := geo.Deg2Rad(5)
+	return []Station{
+		{Name: "Sioux Falls", Location: geo.Geodetic{LatDeg: 43.736, LonDeg: -96.622}, MinElevationRad: mask},
+		{Name: "Gilmore Creek", Location: geo.Geodetic{LatDeg: 64.977, LonDeg: -147.510}, MinElevationRad: mask},
+		{Name: "Svalbard", Location: geo.Geodetic{LatDeg: 78.230, LonDeg: 15.389}, MinElevationRad: mask},
+	}
+}
+
+// Visible reports whether the satellite with elements e is above the
+// station's elevation mask at time t.
+func (s Station) Visible(e orbit.Elements, t time.Time) bool {
+	return s.Elevation(e, t) >= s.MinElevationRad
+}
+
+// Elevation returns the satellite's elevation above the station's horizon
+// in radians at time t.
+func (s Station) Elevation(e orbit.Elements, t time.Time) float64 {
+	sat := geo.ECIToECEF(orbit.Propagate(e, t).Position, t)
+	return geo.ElevationAngle(s.ecef(), sat)
+}
+
+// Window is a contiguous visibility interval.
+type Window struct {
+	Start time.Time
+	End   time.Time
+}
+
+// Duration returns the window length.
+func (w Window) Duration() time.Duration { return w.End.Sub(w.Start) }
+
+// Contains reports whether t lies in [Start, End).
+func (w Window) Contains(t time.Time) bool {
+	return !t.Before(w.Start) && t.Before(w.End)
+}
+
+// ContactWindows returns the satellite's visibility windows at station s
+// over [start, start+span), found by coarse scanning at step and refined to
+// one-second precision by bisection. step must be shorter than the shortest
+// pass to avoid missed contacts; 30 s is safe for LEO with a 5-degree mask.
+func ContactWindows(s Station, e orbit.Elements, start time.Time, span, step time.Duration) []Window {
+	if step <= 0 {
+		panic("station: non-positive scan step")
+	}
+	end := start.Add(span)
+	var windows []Window
+	up := s.Visible(e, start)
+	var winStart time.Time
+	if up {
+		winStart = start
+	}
+	prev := start
+	for t := start.Add(step); !t.After(end); t = t.Add(step) {
+		now := s.Visible(e, t)
+		if now != up {
+			edge := refineEdge(s, e, prev, t, up)
+			if now {
+				winStart = edge
+			} else {
+				windows = append(windows, Window{Start: winStart, End: edge})
+			}
+			up = now
+		}
+		prev = t
+	}
+	if up {
+		windows = append(windows, Window{Start: winStart, End: end})
+	}
+	return windows
+}
+
+// refineEdge bisects to one-second precision the transition between lo
+// (visibility == wasUp) and hi (visibility == !wasUp).
+func refineEdge(s Station, e orbit.Elements, lo, hi time.Time, wasUp bool) time.Time {
+	for hi.Sub(lo) > time.Second {
+		mid := lo.Add(hi.Sub(lo) / 2)
+		if s.Visible(e, mid) == wasUp {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// TotalContact returns the summed duration of all windows.
+func TotalContact(ws []Window) time.Duration {
+	var total time.Duration
+	for _, w := range ws {
+		total += w.Duration()
+	}
+	return total
+}

@@ -1,0 +1,64 @@
+// Package tiling models the frame-tiling technique (Section 3, Figure 6):
+// a frame is split into k x k tiles, and each tile is decimated to the
+// neural network's fixed input size. Tile count therefore sets both the
+// frame processing time (time scales with tile count, because per-tile
+// inference time is constant) and the decimation factor (fewer, larger
+// tiles lose more detail).
+package tiling
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tiling is a per-frame tile layout.
+type Tiling struct {
+	// PerSide is the number of tiles along each frame edge.
+	PerSide int
+}
+
+// PaperTilings returns the four tile counts the paper evaluates in
+// Figures 13 and 14: 121, 36, 16, and 9 tiles per frame.
+func PaperTilings() []Tiling {
+	return []Tiling{{PerSide: 11}, {PerSide: 6}, {PerSide: 4}, {PerSide: 3}}
+}
+
+// Tiles returns the tile count per frame.
+func (t Tiling) Tiles() int { return t.PerSide * t.PerSide }
+
+// String implements fmt.Stringer.
+func (t Tiling) String() string { return fmt.Sprintf("%d tiles/frame", t.Tiles()) }
+
+// Validate rejects degenerate layouts.
+func (t Tiling) Validate() error {
+	if t.PerSide <= 0 {
+		return fmt.Errorf("tiling: non-positive tiles per side %d", t.PerSide)
+	}
+	return nil
+}
+
+// DecimationFactor returns the ratio of the tile's native pixel extent to
+// the model input size. A 10,000 px frame split 3x3 feeds 3333 px tiles to
+// a 1000 px input: factor 3.33. Factors at or below 1 mean the tile is
+// upsampled and no detail is lost.
+func (t Tiling) DecimationFactor(framePx, inputPx int) float64 {
+	if framePx <= 0 || inputPx <= 0 {
+		panic("tiling: non-positive pixel sizes")
+	}
+	return float64(framePx) / float64(t.PerSide) / float64(inputPx)
+}
+
+// RenderBlurPx returns the blur radius, in rendered tile pixels, applied to
+// the synthetic tiles' feature channels for this tiling: a fixed sensor
+// point-spread/area-averaging component plus a term growing with the
+// decimation factor. This is the reproduction's model of Figure 6's "more
+// aggressive decimation" on fewer, larger tiles: coarser tilings blur the
+// radiance the classifier sees while the truth mask stays at reference
+// resolution, so cloud-boundary pixels become ambiguous.
+func (t Tiling) RenderBlurPx(framePx, inputPx int) float64 {
+	const (
+		sensorBlur = 0.6  // PSF + resampling floor, in rendered px
+		decimGain  = 0.50 // additional blur per unit of excess decimation
+	)
+	return sensorBlur + decimGain*math.Max(0, t.DecimationFactor(framePx, inputPx)-1)
+}

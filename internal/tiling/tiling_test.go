@@ -1,0 +1,82 @@
+package tiling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperTilings(t *testing.T) {
+	got := PaperTilings()
+	want := []int{121, 36, 16, 9}
+	if len(got) != len(want) {
+		t.Fatalf("tilings = %d", len(got))
+	}
+	for i, tl := range got {
+		if tl.Tiles() != want[i] {
+			t.Errorf("tiling %d = %d tiles, want %d", i, tl.Tiles(), want[i])
+		}
+		if err := tl.Validate(); err != nil {
+			t.Errorf("tiling %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestDecimationFactorPaperExample(t *testing.T) {
+	// Figure 6: 10K px frame, 1K px NN input. 3x3 split -> 3.33x decimation.
+	f := Tiling{PerSide: 3}.DecimationFactor(10000, 1000)
+	if math.Abs(f-10.0/3) > 1e-9 {
+		t.Fatalf("decimation = %v", f)
+	}
+	// 11x11 split -> 0.909: upsampling, no loss.
+	f = Tiling{PerSide: 11}.DecimationFactor(10000, 1000)
+	if f >= 1 {
+		t.Fatalf("121-tile decimation = %v, want < 1", f)
+	}
+}
+
+func TestBlurMonotoneInTileSize(t *testing.T) {
+	// Fewer tiles -> strictly more blur.
+	prev := -1.0
+	for _, tl := range []Tiling{{11}, {6}, {4}, {3}} {
+		b := tl.RenderBlurPx(10000, 1000)
+		if b <= prev {
+			t.Fatalf("blur not monotone: %v then %v", prev, b)
+		}
+		prev = b
+	}
+	// Upsampled tiling keeps only the sensor floor.
+	if b := (Tiling{PerSide: 11}).RenderBlurPx(10000, 1000); b != 0.6 {
+		t.Fatalf("121-tile blur = %v, want sensor floor 0.6", b)
+	}
+	if b := (Tiling{PerSide: 3}).RenderBlurPx(10000, 1000); b < 1.5 {
+		t.Fatalf("9-tile blur = %v, want >= 1.5", b)
+	}
+}
+
+func TestBlurAtLeastSensorFloor(t *testing.T) {
+	if err := quick.Check(func(perSide, frame, input uint8) bool {
+		tl := Tiling{PerSide: int(perSide%12) + 1}
+		return tl.RenderBlurPx(int(frame)+1, int(input)+1) >= 0.6
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if (Tiling{PerSide: 0}).Validate() == nil {
+		t.Fatal("zero tiling validated")
+	}
+	if (Tiling{PerSide: 3}).Validate() != nil {
+		t.Fatal("valid tiling rejected")
+	}
+}
+
+func TestDecimationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Tiling{PerSide: 3}.DecimationFactor(0, 100)
+}

@@ -1,0 +1,142 @@
+// Package value implements the downlink value accounting behind the
+// paper's headline metric: data value density (DVD), the fraction of the
+// saturated downlink composed of high-value bits. Data moves in chunks
+// (whole tiles from elision, masked pixel products from filtering, raw
+// frames from the bent pipe); each chunk carries its size and its truly
+// high-value portion. A drain step models the downlink queue: the
+// satellite sends the densest chunks first until contact capacity runs
+// out.
+package value
+
+import "sort"
+
+// Chunk is a unit of downlinkable data.
+type Chunk struct {
+	// Bits is the chunk size.
+	Bits float64
+	// ValueBits is the truly high-value portion (ValueBits <= Bits).
+	ValueBits float64
+}
+
+// Density returns the chunk's value density (0 for empty chunks).
+func (c Chunk) Density() float64 {
+	if c.Bits == 0 {
+		return 0
+	}
+	return c.ValueBits / c.Bits
+}
+
+// Ledger accumulates downlink accounting over a deployment.
+type Ledger struct {
+	// CapacityBits is the total downlink capacity granted by contacts.
+	CapacityBits float64
+	// DownlinkedBits is what was actually sent (<= CapacityBits).
+	DownlinkedBits float64
+	// HighValueBits is the truly high-value portion of DownlinkedBits.
+	HighValueBits float64
+	// ObservedBits is the total sensor data captured.
+	ObservedBits float64
+	// ObservedHighValueBits is the high-value portion of ObservedBits.
+	ObservedHighValueBits float64
+}
+
+// Merge accumulates another ledger.
+func (l *Ledger) Merge(o Ledger) {
+	l.CapacityBits += o.CapacityBits
+	l.DownlinkedBits += o.DownlinkedBits
+	l.HighValueBits += o.HighValueBits
+	l.ObservedBits += o.ObservedBits
+	l.ObservedHighValueBits += o.ObservedHighValueBits
+}
+
+// DVD returns the data value density of the saturated downlink: high-value
+// bits delivered per bit of downlink capacity. Idle capacity counts
+// against DVD — an underfilled link wastes the scarce resource the metric
+// measures.
+func (l Ledger) DVD() float64 {
+	if l.CapacityBits == 0 {
+		return 0
+	}
+	return l.HighValueBits / l.CapacityBits
+}
+
+// Purity returns the high-value fraction of the bits actually downlinked.
+func (l Ledger) Purity() float64 {
+	if l.DownlinkedBits == 0 {
+		return 0
+	}
+	return l.HighValueBits / l.DownlinkedBits
+}
+
+// Utilization returns the downlinked fraction of capacity.
+func (l Ledger) Utilization() float64 {
+	if l.CapacityBits == 0 {
+		return 0
+	}
+	return l.DownlinkedBits / l.CapacityBits
+}
+
+// Recovery returns the fraction of observed high-value data that reached
+// the ground — the y-axis of Figure 5.
+func (l Ledger) Recovery() float64 {
+	if l.ObservedHighValueBits == 0 {
+		return 0
+	}
+	return l.HighValueBits / l.ObservedHighValueBits
+}
+
+// Drain downlinks chunks into capacity FIFO-style over a long deployment:
+// the queue accumulates the steady-state output mix and contacts transmit
+// it in arrival order, so when output exceeds capacity every chunk is sent
+// in proportion. This matches the paper's runtime, where the selection
+// logic — not downlink reordering — is what concentrates value. Returns
+// the (bits, valueBits) actually sent.
+func Drain(chunks []Chunk, capacityBits float64) (bits, valueBits float64) {
+	if capacityBits <= 0 || len(chunks) == 0 {
+		return 0, 0
+	}
+	var totalBits, totalVal float64
+	for _, c := range chunks {
+		totalBits += c.Bits
+		totalVal += c.ValueBits
+	}
+	if totalBits <= capacityBits {
+		return totalBits, totalVal
+	}
+	frac := capacityBits / totalBits
+	return capacityBits, totalVal * frac
+}
+
+// DrainPriority is the reordered-queue variant: the satellite sends the
+// densest chunks first, splitting the chunk that straddles the capacity
+// boundary. Used as an ablation against the FIFO queue (a smarter queue
+// partially substitutes for elision).
+func DrainPriority(chunks []Chunk, capacityBits float64) (bits, valueBits float64) {
+	if capacityBits <= 0 || len(chunks) == 0 {
+		return 0, 0
+	}
+	sorted := make([]Chunk, len(chunks))
+	copy(sorted, chunks)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Density() > sorted[j].Density()
+	})
+	remaining := capacityBits
+	for _, c := range sorted {
+		if remaining <= 0 {
+			break
+		}
+		take := c.Bits
+		if take > remaining {
+			// Partial transfer carries proportional value.
+			frac := remaining / c.Bits
+			bits += remaining
+			valueBits += c.ValueBits * frac
+			remaining = 0
+			break
+		}
+		bits += take
+		valueBits += c.ValueBits
+		remaining -= take
+	}
+	return bits, valueBits
+}

@@ -1,0 +1,154 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunkDensity(t *testing.T) {
+	if d := (Chunk{Bits: 10, ValueBits: 4}).Density(); d != 0.4 {
+		t.Fatalf("density = %v", d)
+	}
+	if d := (Chunk{}).Density(); d != 0 {
+		t.Fatalf("empty density = %v", d)
+	}
+}
+
+func TestLedgerMetrics(t *testing.T) {
+	l := Ledger{
+		CapacityBits:          100,
+		DownlinkedBits:        80,
+		HighValueBits:         60,
+		ObservedBits:          1000,
+		ObservedHighValueBits: 300,
+	}
+	if got := l.DVD(); got != 0.6 {
+		t.Errorf("DVD = %v", got)
+	}
+	if got := l.Purity(); got != 0.75 {
+		t.Errorf("purity = %v", got)
+	}
+	if got := l.Utilization(); got != 0.8 {
+		t.Errorf("utilization = %v", got)
+	}
+	if got := l.Recovery(); got != 0.2 {
+		t.Errorf("recovery = %v", got)
+	}
+}
+
+func TestLedgerZeroSafe(t *testing.T) {
+	var l Ledger
+	if l.DVD() != 0 || l.Purity() != 0 || l.Utilization() != 0 || l.Recovery() != 0 {
+		t.Fatal("zero ledger metrics not zero")
+	}
+}
+
+func TestLedgerMerge(t *testing.T) {
+	a := Ledger{CapacityBits: 1, DownlinkedBits: 2, HighValueBits: 3, ObservedBits: 4, ObservedHighValueBits: 5}
+	b := a
+	a.Merge(b)
+	if a.CapacityBits != 2 || a.ObservedHighValueBits != 10 {
+		t.Fatalf("merge = %+v", a)
+	}
+}
+
+func TestDrainProportional(t *testing.T) {
+	chunks := []Chunk{
+		{Bits: 10, ValueBits: 1}, // density 0.1
+		{Bits: 10, ValueBits: 9}, // density 0.9
+		{Bits: 10, ValueBits: 5}, // density 0.5
+	}
+	// FIFO draining sends the mix: half the queue at half the total value.
+	bits, val := Drain(chunks, 15)
+	if bits != 15 || math.Abs(val-7.5) > 1e-12 {
+		t.Fatalf("drain took bits=%v val=%v, want proportional mix", bits, val)
+	}
+}
+
+func TestDrainPriorityPrefersDense(t *testing.T) {
+	chunks := []Chunk{
+		{Bits: 10, ValueBits: 1},
+		{Bits: 10, ValueBits: 9},
+		{Bits: 10, ValueBits: 5},
+	}
+	bits, val := DrainPriority(chunks, 10)
+	if bits != 10 || val != 9 {
+		t.Fatalf("priority drain = %v/%v, want the dense chunk", bits, val)
+	}
+	bits, val = DrainPriority(chunks, 20)
+	if bits != 20 || val != 14 {
+		t.Fatalf("two-chunk priority drain = %v/%v", bits, val)
+	}
+	// Priority never does worse than FIFO.
+	for c := 2.5; c < 35; c += 2.5 {
+		_, pv := DrainPriority(chunks, c)
+		_, fv := Drain(chunks, c)
+		if pv+1e-12 < fv {
+			t.Fatalf("priority (%v) below FIFO (%v) at capacity %v", pv, fv, c)
+		}
+	}
+}
+
+func TestDrainPrioritySplitsLastChunk(t *testing.T) {
+	chunks := []Chunk{{Bits: 10, ValueBits: 8}}
+	bits, val := DrainPriority(chunks, 4)
+	if bits != 4 || math.Abs(val-3.2) > 1e-12 {
+		t.Fatalf("partial drain = %v/%v", bits, val)
+	}
+}
+
+func TestDrainUnderfilled(t *testing.T) {
+	chunks := []Chunk{{Bits: 5, ValueBits: 5}}
+	bits, val := Drain(chunks, 100)
+	if bits != 5 || val != 5 {
+		t.Fatalf("underfilled drain = %v/%v", bits, val)
+	}
+}
+
+func TestDrainProperties(t *testing.T) {
+	if err := quick.Check(func(sizes [4]uint8, fracs [4]uint8, capRaw uint16) bool {
+		var chunks []Chunk
+		var totalBits, totalVal float64
+		for i := range sizes {
+			b := float64(sizes[i])
+			v := b * float64(fracs[i]) / 255
+			chunks = append(chunks, Chunk{Bits: b, ValueBits: v})
+			totalBits += b
+			totalVal += v
+		}
+		capacity := float64(capRaw % 1200)
+		for _, drain := range []func([]Chunk, float64) (float64, float64){Drain, DrainPriority} {
+			bits, val := drain(chunks, capacity)
+			// Never exceed capacity or totals; value never exceeds bits.
+			if !(bits <= capacity+1e-9 && bits <= totalBits+1e-9 &&
+				val <= totalVal+1e-9 && val <= bits+1e-9 && bits >= 0 && val >= 0) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainMonotoneInCapacity(t *testing.T) {
+	chunks := []Chunk{{10, 3}, {20, 15}, {5, 5}, {8, 1}}
+	prevVal := -1.0
+	for c := 0.0; c <= 50; c += 5 {
+		_, val := Drain(chunks, c)
+		if val < prevVal-1e-12 {
+			t.Fatalf("value not monotone in capacity at %v", c)
+		}
+		prevVal = val
+	}
+}
+
+func TestDrainEmpty(t *testing.T) {
+	if b, v := Drain(nil, 100); b != 0 || v != 0 {
+		t.Fatal("empty drain nonzero")
+	}
+	if b, v := Drain([]Chunk{{10, 5}}, 0); b != 0 || v != 0 {
+		t.Fatal("zero-capacity drain nonzero")
+	}
+}

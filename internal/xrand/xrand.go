@@ -1,0 +1,114 @@
+// Package xrand provides a small, fully deterministic random number
+// generator used by every stochastic stage of the reproduction (dataset
+// synthesis, k-means initialization, neural-network initialization,
+// shuffling). It is based on SplitMix64, whose output sequence is fixed by
+// the algorithm itself rather than by a standard-library implementation, so
+// experiment results are reproducible bit-for-bit across Go versions and
+// platforms.
+package xrand
+
+import "math"
+
+// Rand is a deterministic pseudo-random number generator. The zero value is
+// a valid generator seeded with 0; use New to seed explicitly.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Two generators built from the
+// same seed produce identical sequences.
+func New(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Split derives an independent generator from r. The derived stream is a
+// function of r's current state, so splitting at a fixed point in a program
+// yields a fixed stream. Splitting is the preferred way to hand independent
+// randomness to subcomponents without coupling their consumption order.
+func (r *Rand) Split() *Rand {
+	return &Rand{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next value of the SplitMix64 sequence.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	// 53 high-quality bits -> [0,1).
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (r *Rand) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a normally distributed float64 with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (r *Rand) Norm(mean, stddev float64) float64 {
+	// Guard against log(0).
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher-Yates shuffle over n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Choice returns a uniform index weighted by the non-negative weights. It
+// panics if weights is empty or sums to zero.
+func (r *Rand) Choice(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("xrand: negative weight")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total == 0 {
+		panic("xrand: Choice over empty or zero-weight distribution")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
