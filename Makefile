@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race verify bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the full gate: gofmt, vet, build, and tests under -race.
+verify:
+	sh scripts/verify.sh
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+fmt:
+	gofmt -w .

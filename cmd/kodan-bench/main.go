@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	kodan-bench [-size full|quick] [-only table1,fig2,...]
+//	kodan-bench [-size full|quick] [-only table1,fig2,...] [-csv DIR] [-json DIR]
+//
+// -csv writes one <figure>.csv per selected table/figure; -json writes one
+// BENCH_<figure>.json (an array of row objects) for machine consumption.
 package main
 
 import (
@@ -26,11 +29,14 @@ func main() {
 	sizeFlag := flag.String("size", "full", "experiment scale: full or quick")
 	onlyFlag := flag.String("only", "", "comma-separated subset (table1,fig2,...,fig15,ablation-k,ablation-source)")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files to this directory")
+	jsonDir := flag.String("json", "", "also write one BENCH_<figure>.json per table/figure to this directory")
 	flag.Parse()
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			log.Fatal(err)
+	for _, dir := range []string{*csvDir, *jsonDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 
@@ -68,6 +74,20 @@ func main() {
 		}
 	}
 
+	writeJSON := func(key string, rows interface{}) {
+		if *jsonDir == "" {
+			return
+		}
+		f, err := os.Create(filepath.Join(*jsonDir, "BENCH_"+key+".json"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := experiments.WriteJSON(f, rows); err != nil {
+			log.Fatalf("%s: %v", key, err)
+		}
+	}
+
 	run := func(key string, gen func() (string, interface{}, error)) {
 		if !selected(key) {
 			return
@@ -79,6 +99,7 @@ func main() {
 		}
 		fmt.Println(out)
 		writeCSV(key, rows)
+		writeJSON(key, rows)
 		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", key, time.Since(t0).Round(time.Millisecond))
 	}
 

@@ -1,0 +1,89 @@
+// Command kodan-server runs the ground-segment mission-planning service:
+// an HTTP JSON API over the one-time transformation pipeline, the
+// selection-logic generator, and the orbital simulator, with a
+// single-flight plan cache, a bounded transform worker pool, and an ops
+// surface (/healthz, /readyz, /metrics).
+//
+// Usage:
+//
+//	kodan-server [-addr :8080] [-seed 2023] [-frames 120] [-workers 2] [-queue 8] [-timeout 120s]
+//
+// Endpoints:
+//
+//	POST /v1/transform  {"app":4}                          run/reuse a transformation
+//	POST /v1/plan       {"app":4,"target":"orin"}          selection logic as a deployment bundle
+//	POST /v1/simulate   {"app":4,"target":"orin","days":1} deployment simulation (kodan|bentpipe|direct)
+//	GET  /v1/catalog                                       targets, apps, tilings, contexts
+//	GET  /healthz | /readyz | /metrics                     ops
+//
+// SIGINT/SIGTERM triggers a graceful shutdown that drains in-flight
+// requests (bounded by -drain).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kodan"
+	"kodan/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kodan-server: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Uint64("seed", 2023, "default transformation seed")
+	frames := flag.Int("frames", 120, "representative dataset size in frames")
+	workers := flag.Int("workers", 2, "concurrent transform workers")
+	queue := flag.Int("queue", 8, "transform wait-queue depth (beyond this: 429)")
+	timeout := flag.Duration("timeout", 120*time.Second, "per-request processing ceiling")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	verbose := flag.Bool("v", true, "log one line per request")
+	flag.Parse()
+
+	cfg := server.Config{
+		Seed:       *seed,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Timeout:    *timeout,
+		TransformConfig: func(seed uint64) kodan.TransformConfig {
+			c := kodan.DefaultTransformConfig(seed)
+			c.Frames = *frames
+			return c
+		},
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	srv := server.New(cfg)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr) }()
+	log.Printf("listening on %s (seed %d, %d workers, queue %d)", *addr, *seed, *workers, *queue)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case sig := <-sigCh:
+		log.Printf("%v: draining in-flight requests (up to %v)...", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("drained cleanly")
+	}
+}

@@ -22,6 +22,7 @@
 package app
 
 import (
+	"context"
 	"fmt"
 
 	"kodan/internal/ctxengine"
@@ -148,8 +149,10 @@ func buildInput(t *imagery.Tile, p int, a Architecture, rng *xrand.Rand, dst []f
 	return dst
 }
 
-// trainModel fits one classifier on the given tiles.
-func trainModel(a Architecture, context int, tiles []*imagery.Tile, opts TrainOptions, rng *xrand.Rand) *Model {
+// trainModel fits one classifier on the given tiles. ctx is checked
+// between training epochs; on cancellation the partially trained model is
+// discarded and ctx.Err() returned.
+func trainModel(ctx context.Context, a Architecture, contextIdx int, tiles []*imagery.Tile, opts TrainOptions, rng *xrand.Rand) (*Model, error) {
 	var xs [][]float64
 	var ys []float64
 	sampleRng := rng.Split()
@@ -170,9 +173,11 @@ func trainModel(a Architecture, context int, tiles []*imagery.Tile, opts TrainOp
 	}
 	net := nn.NewBinary(inputDim, a.Hidden, rng.Split())
 	if len(xs) > 0 {
-		net.Fit(xs, ys, opts.Train, rng.Split())
+		if _, err := net.FitCtx(ctx, xs, ys, opts.Train, rng.Split()); err != nil {
+			return nil, err
+		}
 	}
-	return &Model{Arch: a, Context: context, net: net}
+	return &Model{Arch: a, Context: contextIdx, net: net}, nil
 }
 
 // PredictTile classifies every pixel of a tile, returning the predicted
@@ -246,6 +251,18 @@ type Suite struct {
 // partition (its engine labels both splits, matching the paper's use of
 // engine output as ground truth).
 func BuildSuite(a Architecture, tl tiling.Tiling, train, val *dataset.Dataset, ctx *ctxengine.Set, opts TrainOptions, rng *xrand.Rand) *Suite {
+	suite, err := BuildSuiteCtx(context.Background(), a, tl, train, val, ctx, opts, rng)
+	if err != nil {
+		// Unreachable: a background context never cancels.
+		panic(err)
+	}
+	return suite
+}
+
+// BuildSuiteCtx is BuildSuite with cooperative cancellation: cc is checked
+// between model trainings (and, via nn.FitCtx, between epochs). A run that
+// completes is bit-identical to BuildSuite with the same inputs.
+func BuildSuiteCtx(cc context.Context, a Architecture, tl tiling.Tiling, train, val *dataset.Dataset, ctx *ctxengine.Set, opts TrainOptions, rng *xrand.Rand) (*Suite, error) {
 	if opts.PixelsPerTile <= 0 {
 		opts = DefaultTrainOptions()
 	}
@@ -265,7 +282,11 @@ func BuildSuite(a Architecture, tl tiling.Tiling, train, val *dataset.Dataset, c
 	}
 
 	suite := &Suite{Arch: a, Tiling: tl}
-	suite.Generic = trainModel(a, -1, allTiles, opts, rng.Split())
+	var err error
+	suite.Generic, err = trainModel(cc, a, -1, allTiles, opts, rng.Split())
+	if err != nil {
+		return nil, err
+	}
 	suite.Special = make([]*Model, ctx.K)
 	for c := 0; c < ctx.K; c++ {
 		tiles := byCtx[c]
@@ -275,7 +296,10 @@ func BuildSuite(a Architecture, tl tiling.Tiling, train, val *dataset.Dataset, c
 			suite.Special[c] = suite.Generic
 			continue
 		}
-		suite.Special[c] = trainModel(a, c, tiles, opts, rng.Split())
+		suite.Special[c], err = trainModel(cc, a, c, tiles, opts, rng.Split())
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Multi-context models: one per dominant-geography group. Contexts
@@ -298,7 +322,10 @@ func BuildSuite(a Architecture, tl tiling.Tiling, train, val *dataset.Dataset, c
 		if len(tiles) == 0 {
 			m = suite.Generic
 		} else {
-			m = trainModel(a, members[0], tiles, opts, rng.Split())
+			m, err = trainModel(cc, a, members[0], tiles, opts, rng.Split())
+			if err != nil {
+				return nil, err
+			}
 		}
 		for _, c := range members {
 			suite.Merged[c] = m
@@ -306,6 +333,9 @@ func BuildSuite(a Architecture, tl tiling.Tiling, train, val *dataset.Dataset, c
 	}
 
 	// Measure validation quality per context.
+	if err := cc.Err(); err != nil {
+		return nil, err
+	}
 	q := Quality{App: a.Index, Tiling: tl, K: ctx.K,
 		Generic: make([]nn.Confusion, ctx.K),
 		Special: make([]nn.Confusion, ctx.K),
@@ -326,5 +356,5 @@ func BuildSuite(a Architecture, tl tiling.Tiling, train, val *dataset.Dataset, c
 		q.SpecialAll.Merge(q.Special[c])
 	}
 	suite.Quality = q
-	return suite
+	return suite, nil
 }

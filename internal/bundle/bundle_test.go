@@ -99,6 +99,90 @@ func TestReadRejectsBadBundles(t *testing.T) {
 	}
 }
 
+// TestReadHostileInputs is a fuzz-style table over malformed bundles: every
+// case must produce a descriptive error — never a panic, never a silent
+// zero-value bundle. The deployment path (kodan.ImportSelection) funnels
+// untrusted on-disk artifacts through Read, so hostility here is the norm.
+func TestReadHostileInputs(t *testing.T) {
+	valid := func() string {
+		sel, prof, stats, est := sampleInputs()
+		b, err := New(4, "resnet50dilated-ppm-deepsup", hw.Orin15W, sel, prof, stats,
+			24*time.Second, 0.21, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := b.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+
+	cases := []struct {
+		name    string
+		raw     string
+		wantSub string // substring the error must carry to be "descriptive"
+	}{
+		{"empty input", "", "bundle:"},
+		{"whitespace only", "   \n\t  ", "bundle:"},
+		{"not json at all", "PK\x03\x04 zipfile bytes", "bundle:"},
+		{"json scalar", `42`, "bundle:"},
+		{"json array", `[1,2,3]`, "bundle:"},
+		{"unterminated object", `{"schemaVersion":1,`, "bundle:"},
+		{"version zero", `{"schemaVersion":0,"tilesPerSide":3,"contexts":[{"action":"discard"}]}`, "schema version 0"},
+		{"version from the future", `{"schemaVersion":2,"tilesPerSide":3,"contexts":[{"action":"discard"}]}`, "schema version 2"},
+		{"negative version", `{"schemaVersion":-1,"tilesPerSide":3,"contexts":[{"action":"discard"}]}`, "schema version -1"},
+		{"tiling zero", `{"schemaVersion":1,"tilesPerSide":0,"contexts":[{"action":"discard"}]}`, "bad tiling"},
+		{"tiling negative", `{"schemaVersion":1,"tilesPerSide":-4,"contexts":[{"action":"discard"}]}`, "bad tiling"},
+		{"tiling float", `{"schemaVersion":1,"tilesPerSide":2.5,"contexts":[{"action":"discard"}]}`, "bundle:"},
+		{"tiling overflow", `{"schemaVersion":1,"tilesPerSide":99999999999999999999,"contexts":[{"action":"discard"}]}`, "bundle:"},
+		{"no contexts", `{"schemaVersion":1,"tilesPerSide":3,"contexts":[]}`, "no contexts"},
+		{"null contexts", `{"schemaVersion":1,"tilesPerSide":3,"contexts":null}`, "no contexts"},
+		{"unknown action", `{"schemaVersion":1,"tilesPerSide":3,"contexts":[{"action":"explode"}]}`, `unknown action "explode"`},
+		{"empty action", `{"schemaVersion":1,"tilesPerSide":3,"contexts":[{"action":""}]}`, "unknown action"},
+		{"action wrong case", `{"schemaVersion":1,"tilesPerSide":3,"contexts":[{"action":"Discard"}]}`, "unknown action"},
+		{"action wrong type", `{"schemaVersion":1,"tilesPerSide":3,"contexts":[{"action":7}]}`, "bundle:"},
+		{"second context bad", `{"schemaVersion":1,"tilesPerSide":3,"contexts":[{"action":"discard"},{"action":"nope"}]}`, "context 1"},
+		{"unknown top-level field", `{"schemaVersion":1,"tilesPerSide":3,"hacked":true,"contexts":[{"action":"discard"}]}`, "bundle:"},
+		{"unknown context field", `{"schemaVersion":1,"tilesPerSide":3,"contexts":[{"action":"discard","payload":"x"}]}`, "bundle:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("Read panicked: %v", rec)
+				}
+			}()
+			b, err := Read(strings.NewReader(tc.raw))
+			if err == nil {
+				t.Fatalf("accepted hostile input, got bundle %+v", b)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q not descriptive, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+
+	// Truncation sweep: every strict prefix of a valid bundle must fail
+	// cleanly (the final bytes are a closing newline, so only the full
+	// document parses).
+	t.Run("truncations", func(t *testing.T) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Fatalf("Read panicked on a truncated bundle: %v", rec)
+			}
+		}()
+		for cut := 0; cut < len(valid)-1; cut++ {
+			if _, err := Read(strings.NewReader(valid[:cut])); err == nil {
+				t.Fatalf("truncation at byte %d accepted", cut)
+			}
+		}
+		if _, err := Read(strings.NewReader(valid)); err != nil {
+			t.Fatalf("full bundle rejected: %v", err)
+		}
+	})
+}
+
 func TestParseActionCoversAll(t *testing.T) {
 	for a := policy.Discard; a <= policy.Generic; a++ {
 		got, err := parseAction(a.String())

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -83,11 +84,22 @@ type Workspace struct {
 // NewWorkspace renders the datasets for every candidate tiling and builds
 // the contexts and context engine.
 func NewWorkspace(cfg Config) (*Workspace, error) {
+	return NewWorkspaceCtx(context.Background(), cfg)
+}
+
+// NewWorkspaceCtx is NewWorkspace with cooperative cancellation: ctx is
+// checked between per-tiling dataset renders and before the clustering/
+// engine-training stage, returning ctx.Err() promptly when cancelled. A
+// completed build is bit-identical to NewWorkspace with the same config.
+func NewWorkspaceCtx(ctx context.Context, cfg Config) (*Workspace, error) {
 	if len(cfg.Tilings) == 0 {
 		return nil, fmt.Errorf("core: no candidate tilings")
 	}
 	w := &Workspace{Cfg: cfg, data: make(map[int]split)}
 	for _, tl := range cfg.Tilings {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		dcfg := dataset.DefaultConfig(cfg.Seed, tl)
 		dcfg.Frames = cfg.Frames
 		dcfg.TileRes = cfg.TileRes
@@ -108,11 +120,14 @@ func NewWorkspace(cfg Config) (*Workspace, error) {
 			coarsest = tl
 		}
 	}
-	ctx, err := ctxengine.Build(w.data[coarsest.PerSide].train, cfg.Context, xrand.New(cfg.Seed^0xc0e1))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	set, err := ctxengine.Build(w.data[coarsest.PerSide].train, cfg.Context, xrand.New(cfg.Seed^0xc0e1))
 	if err != nil {
 		return nil, err
 	}
-	w.Ctx = ctx
+	w.Ctx = set
 	return w, nil
 }
 
@@ -139,15 +154,33 @@ type Artifacts struct {
 // TransformApp trains and measures one application across every candidate
 // tiling in the workspace.
 func (w *Workspace) TransformApp(arch app.Architecture) (*Artifacts, error) {
+	return w.TransformAppCtx(context.Background(), arch)
+}
+
+// TransformAppCtx is TransformApp with cooperative cancellation: ctx is
+// checked between tilings and, inside suite construction, between model
+// trainings and epochs, so a cancelled transform returns ctx.Err()
+// promptly. A completed transform is bit-identical to TransformApp with
+// the same inputs: each (application, tiling) pair derives its randomness
+// from the workspace seed alone, never from call timing or interleaving —
+// which is also what makes concurrent transforms on one workspace
+// deterministic.
+func (w *Workspace) TransformAppCtx(ctx context.Context, arch app.Architecture) (*Artifacts, error) {
 	art := &Artifacts{Arch: arch, Ctx: w.Ctx, Suites: make(map[int]*app.Suite)}
 	for _, tl := range w.Cfg.Tilings {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s := w.data[tl.PerSide]
 		opts := app.DefaultTrainOptions()
 		opts.Augment = w.Cfg.Augment
 		opts.PixelsPerTile = perTileBudget(w.Cfg.PixelsPerFrame, tl)
 		opts.EvalPixelsPerTile = perTileBudget(w.Cfg.EvalPixelsPerFrame, tl)
 		rng := xrand.New(w.Cfg.Seed ^ uint64(arch.Index)<<32 ^ uint64(tl.PerSide))
-		suite := app.BuildSuite(arch, tl, s.train, s.val, w.Ctx, opts, rng)
+		suite, err := app.BuildSuiteCtx(ctx, arch, tl, s.train, s.val, w.Ctx, opts, rng)
+		if err != nil {
+			return nil, err
+		}
 		art.Suites[tl.PerSide] = suite
 		art.Profiles = append(art.Profiles, w.profile(tl, suite))
 	}

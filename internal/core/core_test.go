@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -193,5 +195,35 @@ func TestPerTileBudget(t *testing.T) {
 	}
 	if got := perTileBudget(360, tiling.Tiling{PerSide: 11}); got != 4 {
 		t.Fatalf("budget(121) = %d (floor)", got)
+	}
+}
+
+// TestCancellation covers the context-aware entry points: a cancelled
+// context aborts both workspace construction and an application transform
+// promptly with context.Canceled, and a live context is a no-op wrapper.
+func TestCancellation(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := NewWorkspaceCtx(cancelled, testConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("NewWorkspaceCtx on cancelled ctx: %v, want context.Canceled", err)
+	}
+
+	w := buildWorkspace(t)
+	start := time.Now()
+	if _, err := w.TransformAppCtx(cancelled, app.App(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TransformAppCtx on cancelled ctx: %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancelled transform took %v, want a prompt return", d)
+	}
+
+	// A live context must not change behavior.
+	a, err := w.TransformAppCtx(context.Background(), app.App(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Profiles) != len(w.Cfg.Tilings) {
+		t.Fatalf("profiles = %d, want %d", len(a.Profiles), len(w.Cfg.Tilings))
 	}
 }

@@ -103,8 +103,9 @@ type Stats struct {
 type Set struct {
 	// K is the context count.
 	K int
-	// Engine classifies tile summaries into contexts. Not safe for
-	// concurrent use (it shares forward buffers).
+	// Engine classifies tile summaries into contexts. Once built, the
+	// engine is read-only and safe for concurrent classification (nn
+	// prediction borrows per-call forward buffers).
 	Engine *nn.Net
 	// Labels holds the engine-assigned context of each training sample,
 	// parallel to the dataset passed to Build.

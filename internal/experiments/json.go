@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+)
+
+// WriteJSON serializes a slice of experiment row structs as an indented
+// JSON array of objects keyed by field name. It follows the same cell
+// conventions as WriteCSV — time.Duration renders as seconds, fmt.Stringer
+// values via String — but keeps numbers numeric so downstream tooling can
+// consume the figures without re-parsing.
+func WriteJSON(w io.Writer, rows interface{}) error {
+	v := reflect.ValueOf(rows)
+	if v.Kind() != reflect.Slice {
+		return fmt.Errorf("experiments: WriteJSON wants a slice, got %T", rows)
+	}
+	if v.Len() == 0 {
+		return fmt.Errorf("experiments: no rows to write")
+	}
+	elemT := v.Index(0).Type()
+	if elemT.Kind() != reflect.Struct {
+		return fmt.Errorf("experiments: WriteJSON wants a slice of structs, got %s", elemT)
+	}
+
+	out := make([]map[string]interface{}, 0, v.Len())
+	for r := 0; r < v.Len(); r++ {
+		row := v.Index(r)
+		obj := make(map[string]interface{}, elemT.NumField())
+		for i := 0; i < elemT.NumField(); i++ {
+			cell, err := jsonCell(row.Field(i))
+			if err != nil {
+				return fmt.Errorf("experiments: row %d field %s: %w", r, elemT.Field(i).Name, err)
+			}
+			obj[elemT.Field(i).Name] = cell
+		}
+		out = append(out, obj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// jsonCell renders one struct field as a JSON-ready value.
+func jsonCell(f reflect.Value) (interface{}, error) {
+	if f.Type() == reflect.TypeOf(time.Duration(0)) {
+		return time.Duration(f.Int()).Seconds(), nil
+	}
+	if f.CanInterface() {
+		if s, ok := f.Interface().(fmt.Stringer); ok {
+			return s.String(), nil
+		}
+	}
+	switch f.Kind() {
+	case reflect.String:
+		return f.String(), nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return f.Int(), nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return f.Uint(), nil
+	case reflect.Float32, reflect.Float64:
+		return f.Float(), nil
+	case reflect.Bool:
+		return f.Bool(), nil
+	default:
+		return nil, fmt.Errorf("unsupported field kind %s", f.Kind())
+	}
+}

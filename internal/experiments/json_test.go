@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"kodan/internal/hw"
+)
+
+func TestWriteJSONFig8Rows(t *testing.T) {
+	rows := []Fig8Row{
+		{Target: hw.Orin15W, App: 1, BentDVD: 0.48, DirectDVD: 0.52, KodanDVD: 0.95},
+		{Target: hw.GTX1070Ti, App: 2, BentDVD: 0.48, DirectDVD: 0.7, KodanDVD: 0.96},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("rows = %d", len(out))
+	}
+	if out[0]["Target"] != "Orin 15W" || out[1]["Target"] != "1070 Ti" {
+		t.Fatalf("stringer fields = %v, %v", out[0]["Target"], out[1]["Target"])
+	}
+	// Numbers stay numeric, not strings.
+	if dvd, ok := out[0]["KodanDVD"].(float64); !ok || dvd != 0.95 {
+		t.Fatalf("KodanDVD = %v (%T)", out[0]["KodanDVD"], out[0]["KodanDVD"])
+	}
+	if app, ok := out[1]["App"].(float64); !ok || app != 2 {
+		t.Fatalf("App = %v (%T)", out[1]["App"], out[1]["App"])
+	}
+}
+
+func TestWriteJSONDurationsAsSeconds(t *testing.T) {
+	rows := []Fig9Row{{
+		Target: hw.Orin15W, App: 7,
+		DirectTime: 247 * time.Second,
+		KodanTime:  12*time.Second + 900*time.Millisecond,
+		Deadline:   24 * time.Second,
+	}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0]["DirectTime"] != 247.0 || out[0]["KodanTime"] != 12.9 {
+		t.Fatalf("duration fields = %v, %v", out[0]["DirectTime"], out[0]["KodanTime"])
+	}
+}
+
+func TestWriteJSONErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, 42); err == nil {
+		t.Fatal("non-slice accepted")
+	}
+	if err := WriteJSON(&buf, []Fig8Row{}); err == nil {
+		t.Fatal("empty slice accepted")
+	}
+	if err := WriteJSON(&buf, []int{1, 2}); err == nil {
+		t.Fatal("non-struct slice accepted")
+	}
+}

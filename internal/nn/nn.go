@@ -8,8 +8,10 @@
 package nn
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"kodan/internal/xrand"
 )
@@ -167,14 +169,28 @@ func activateGrad(pre float64, a Activation) float64 {
 
 // Net is a feed-forward network. Build one with NewClassifier or
 // NewBinary; the zero value is unusable.
+//
+// Concurrency: prediction (Predict, PredictBinary, PredictClass) is safe
+// for concurrent use — each call borrows forward buffers from an internal
+// pool. Training (Fit, FitCtx) mutates the weights and dedicated
+// gradient/activation state and must not run concurrently with anything
+// else on the same Net.
 type Net struct {
 	layers []*layer
-	// Scratch buffers sized at construction, reused across calls. Nets are
-	// not safe for concurrent use.
+	// train holds the dedicated training scratch (activations are needed
+	// across the forward/backward pair, so Fit cannot share the pool).
+	train *scratch
+	// predict pools forward-only scratch for concurrent prediction.
+	predict sync.Pool
+	softmax bool
+}
+
+// scratch holds per-call activation buffers for one forward (and, for the
+// training scratch, backward) pass.
+type scratch struct {
 	acts    [][]float64
 	preacts [][]float64
 	deltas  [][]float64
-	softmax bool
 }
 
 // NewBinary returns a binary classifier: inputs -> hidden ReLU layers ->
@@ -208,12 +224,19 @@ func NewClassifier(inputs int, hidden []int, classes int, rng *xrand.Rand) *Net 
 }
 
 func (n *Net) initScratch(inputs int) {
-	n.acts = append(n.acts, make([]float64, inputs))
+	n.train = n.newScratch()
+	n.predict.New = func() interface{} { return n.newScratch() }
+}
+
+func (n *Net) newScratch() *scratch {
+	s := &scratch{}
+	s.acts = append(s.acts, make([]float64, n.layers[0].in))
 	for _, l := range n.layers {
-		n.acts = append(n.acts, make([]float64, l.out))
-		n.preacts = append(n.preacts, make([]float64, l.out))
-		n.deltas = append(n.deltas, make([]float64, l.in))
+		s.acts = append(s.acts, make([]float64, l.out))
+		s.preacts = append(s.preacts, make([]float64, l.out))
+		s.deltas = append(s.deltas, make([]float64, l.in))
 	}
+	return s
 }
 
 // Inputs returns the network's input dimension.
@@ -232,13 +255,14 @@ func (n *Net) Params() int {
 	return total
 }
 
-// forward runs the network; the final activation vector is returned.
-func (n *Net) forward(x []float64) []float64 {
-	copy(n.acts[0], x)
+// forward runs the network using the given scratch; the final activation
+// vector (owned by the scratch) is returned.
+func (n *Net) forward(s *scratch, x []float64) []float64 {
+	copy(s.acts[0], x)
 	for i, l := range n.layers {
-		l.forward(n.acts[i], n.acts[i+1], n.preacts[i])
+		l.forward(s.acts[i], s.acts[i+1], s.preacts[i])
 	}
-	out := n.acts[len(n.acts)-1]
+	out := s.acts[len(s.acts)-1]
 	if n.softmax {
 		softmaxInPlace(out)
 	}
@@ -251,9 +275,11 @@ func (n *Net) Predict(x []float64) []float64 {
 	if len(x) != n.Inputs() {
 		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), n.Inputs()))
 	}
-	out := n.forward(x)
+	s := n.predict.Get().(*scratch)
+	out := n.forward(s, x)
 	res := make([]float64, len(out))
 	copy(res, out)
+	n.predict.Put(s)
 	return res
 }
 
@@ -262,18 +288,23 @@ func (n *Net) PredictBinary(x []float64) float64 {
 	if n.Outputs() != 1 {
 		panic("nn: PredictBinary on non-binary net")
 	}
-	return n.forward(x)[0]
+	s := n.predict.Get().(*scratch)
+	p := n.forward(s, x)[0]
+	n.predict.Put(s)
+	return p
 }
 
 // PredictClass returns the argmax class for a classifier.
 func (n *Net) PredictClass(x []float64) int {
-	out := n.forward(x)
+	s := n.predict.Get().(*scratch)
+	out := n.forward(s, x)
 	best := 0
 	for i, v := range out {
 		if v > out[best] {
 			best = i
 		}
 	}
+	n.predict.Put(s)
 	return best
 }
 
@@ -299,7 +330,8 @@ func softmaxInPlace(v []float64) {
 // Both use the cross-entropy gradient, which for sigmoid and softmax heads
 // reduces to (p - y) at the final pre-activation.
 func (n *Net) accumulate(x []float64, target float64) float64 {
-	out := n.forward(x)
+	s := n.train
+	out := n.forward(s, x)
 	last := len(n.layers) - 1
 	dOut := make([]float64, n.layers[last].out)
 	var loss float64
@@ -320,7 +352,7 @@ func (n *Net) accumulate(x []float64, target float64) float64 {
 		y := target
 		// Sigmoid+BCE: gradient wrt pre-activation is p-y. backward will
 		// multiply by sigmoid'(pre), so divide it out here.
-		g := activateGrad(n.preacts[last][0], Sigmoid)
+		g := activateGrad(s.preacts[last][0], Sigmoid)
 		if g < 1e-12 {
 			g = 1e-12
 		}
@@ -329,8 +361,8 @@ func (n *Net) accumulate(x []float64, target float64) float64 {
 	}
 
 	for i := last; i >= 0; i-- {
-		n.layers[i].backward(n.acts[i], n.preacts[i], dOut, n.deltas[i])
-		dOut = n.deltas[i]
+		n.layers[i].backward(s.acts[i], s.preacts[i], dOut, s.deltas[i])
+		dOut = s.deltas[i]
 	}
 	return loss
 }
@@ -367,11 +399,21 @@ func DefaultTrain() TrainConfig {
 // epoch. For binary nets ys hold {0,1}; for classifiers ys hold class
 // indices. Shuffling draws from rng, so training is deterministic.
 func (n *Net) Fit(xs [][]float64, ys []float64, cfg TrainConfig, rng *xrand.Rand) float64 {
+	loss, _ := n.FitCtx(context.Background(), xs, ys, cfg, rng)
+	return loss
+}
+
+// FitCtx is Fit with cooperative cancellation: ctx is checked between
+// epochs, and ctx.Err() is returned promptly if the context is done. A
+// run that completes all epochs is bit-identical to Fit with the same
+// inputs; a cancelled run leaves the network partially trained and should
+// be discarded.
+func (n *Net) FitCtx(ctx context.Context, xs [][]float64, ys []float64, cfg TrainConfig, rng *xrand.Rand) (float64, error) {
 	if len(xs) != len(ys) {
 		panic("nn: len(xs) != len(ys)")
 	}
 	if len(xs) == 0 {
-		return 0
+		return 0, nil
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 32
@@ -394,6 +436,9 @@ func (n *Net) Fit(xs [][]float64, ys []float64, cfg TrainConfig, rng *xrand.Rand
 		}
 	}
 	for ep := 0; ep < cfg.Epochs; ep++ {
+		if err := ctx.Err(); err != nil {
+			return lastLoss, err
+		}
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		var epochLoss float64
 		batch := 0
@@ -410,5 +455,5 @@ func (n *Net) Fit(xs [][]float64, ys []float64, cfg TrainConfig, rng *xrand.Rand
 		}
 		lastLoss = epochLoss / float64(len(xs))
 	}
-	return lastLoss
+	return lastLoss, nil
 }

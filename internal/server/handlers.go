@@ -1,0 +1,512 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"kodan"
+	"kodan/internal/sim"
+)
+
+// planRequest is the /v1/plan and /v1/transform request body (transform
+// ignores the deployment fields) and the deployment half of /v1/simulate.
+type planRequest struct {
+	// Seed selects the transformation seed (0 means the server default).
+	Seed uint64 `json:"seed"`
+	// App is the 1-based Table 1 application index.
+	App int `json:"app"`
+	// Target names the hardware target: "orin", "i7", "1070ti" (or the
+	// Table 1 display names).
+	Target string `json:"target"`
+	// DeadlineMs and CapacityFrac pin the deployment environment. When
+	// either is zero the server fills both from the reference Landsat 8
+	// mission (one day, one satellite).
+	DeadlineMs   float64 `json:"deadlineMs"`
+	CapacityFrac float64 `json:"capacityFrac"`
+	// NoFill disables padding an under-filled link with raw frames
+	// (FillIdle defaults to true, matching Mission.Deployment).
+	NoFill bool `json:"noFill"`
+	// TimeoutMs caps this request's processing time below the server's
+	// ceiling.
+	TimeoutMs int `json:"timeoutMs"`
+}
+
+// simulateRequest is the /v1/simulate request body.
+type simulateRequest struct {
+	planRequest
+	// Days is the simulated span (default 1).
+	Days int `json:"days"`
+	// Sats is the constellation population (default 1).
+	Sats int `json:"sats"`
+	// Mode picks the deployment under test: "kodan" (default),
+	// "bentpipe", or "direct".
+	Mode string `json:"mode"`
+}
+
+// requestContext applies the server and per-request timeouts.
+func (s *Server) requestContext(r *http.Request, req planRequest) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.Timeout
+	if req.TimeoutMs > 0 && time.Duration(req.TimeoutMs)*time.Millisecond < timeout {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// decode parses a JSON body strictly.
+func decode(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// writeJSON writes v as indented JSON.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection owns delivery
+}
+
+// writeError maps pipeline errors onto HTTP statuses.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		// Client went away or the server is shutting down.
+		http.Error(w, "request cancelled", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// parseTarget accepts the CLI short names and the Table 1 display names.
+func parseTarget(s string) (kodan.Target, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "1070ti", "gtx1070ti", "1070 ti":
+		return kodan.GTX1070Ti, nil
+	case "i7", "i7-7800", "i7_7800x":
+		return kodan.I7_7800X, nil
+	case "orin", "orin15w", "orin 15w", "":
+		return kodan.Orin15W, nil
+	default:
+		return 0, fmt.Errorf("unknown target %q (want 1070ti, i7, or orin)", s)
+	}
+}
+
+// seedOf resolves a request seed against the server default.
+func (s *Server) seedOf(req planRequest) uint64 {
+	if req.Seed != 0 {
+		return req.Seed
+	}
+	return s.cfg.Seed
+}
+
+// system returns (building at most once per seed) the transformation
+// workspace for a seed.
+func (s *Server) system(ctx context.Context, seed uint64) (*kodan.System, CacheSource, error) {
+	key := fmt.Sprintf("sys|%d", seed)
+	v, src, err := s.cache.Do(ctx, key, func(cctx context.Context) (interface{}, error) {
+		return s.cfg.NewSystem(cctx, s.cfg.TransformConfig(seed))
+	})
+	if err != nil {
+		return nil, src, err
+	}
+	return v.(*kodan.System), src, nil
+}
+
+// application returns (computing at most once per key, through the worker
+// pool) the transformed application for (seed, app).
+func (s *Server) application(ctx context.Context, seed uint64, appIndex int) (*kodan.Application, CacheSource, error) {
+	key := fmt.Sprintf("app|%d|%d", seed, appIndex)
+	v, src, err := s.cache.Do(ctx, key, func(cctx context.Context) (interface{}, error) {
+		if err := s.pool.Acquire(cctx); err != nil {
+			return nil, err
+		}
+		defer s.pool.Release()
+		sys, _, err := s.system(cctx, seed)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.TransformStarted()
+		app, err := s.cfg.Transform(cctx, sys, appIndex)
+		switch {
+		case err == nil:
+			s.metrics.TransformCompleted()
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			s.metrics.TransformCancelled()
+		default:
+			s.metrics.TransformFailed()
+		}
+		return app, err
+	})
+	if err != nil {
+		return nil, src, err
+	}
+	return v.(*kodan.Application), src, nil
+}
+
+// mission returns the reference mission parameters for a span and
+// constellation size, derived from the orbital simulator (cached: the
+// simulation is deterministic but takes on the order of a second).
+func (s *Server) mission(ctx context.Context, days, sats int) (kodan.Mission, error) {
+	if days <= 0 {
+		days = 1
+	}
+	if sats <= 0 {
+		sats = 1
+	}
+	key := fmt.Sprintf("sim|%d|%d", days, sats)
+	v, _, err := s.cache.Do(ctx, key, func(context.Context) (interface{}, error) {
+		cfg := sim.Landsat8Config(s.cfg.SimEpoch, time.Duration(days)*24*time.Hour, sats)
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		observed := float64(res.FramesObserved())
+		if observed == 0 {
+			return nil, fmt.Errorf("simulation observed no frames")
+		}
+		return kodan.Mission{
+			Epoch:         s.cfg.SimEpoch,
+			FrameDeadline: cfg.Grid.FramePeriod(cfg.BaseOrbit),
+			FramesPerDay:  observed / float64(days),
+			CapacityFrac:  res.FrameCapacity() / observed,
+			FrameBits:     cfg.Camera.FrameBits(),
+			Prevalence:    0.48, // the Sentinel-like dataset's high-value split
+		}, nil
+	})
+	if err != nil {
+		return kodan.Mission{}, err
+	}
+	return v.(kodan.Mission), nil
+}
+
+// deployment resolves the request's deployment environment, filling
+// unspecified deadline/capacity from the reference mission.
+func (s *Server) deployment(ctx context.Context, req planRequest, target kodan.Target) (kodan.Deployment, error) {
+	d := kodan.Deployment{
+		Target:       target,
+		Deadline:     time.Duration(req.DeadlineMs * float64(time.Millisecond)),
+		CapacityFrac: req.CapacityFrac,
+		FillIdle:     !req.NoFill,
+	}
+	if d.Deadline <= 0 || d.CapacityFrac <= 0 {
+		m, err := s.mission(ctx, 1, 1)
+		if err != nil {
+			return kodan.Deployment{}, err
+		}
+		if d.Deadline <= 0 {
+			d.Deadline = m.FrameDeadline
+		}
+		if d.CapacityFrac <= 0 {
+			d.CapacityFrac = m.CapacityFrac
+		}
+	}
+	return d, nil
+}
+
+// planKey builds the plan-cache key from the fully resolved deployment,
+// so requests that spell the same deployment differently (defaulted vs
+// explicit) share one entry, and float parameters are keyed by their
+// exact bits.
+func planKey(seed uint64, appIndex int, d kodan.Deployment) string {
+	return fmt.Sprintf("plan|%d|%d|%d|%x|%x|%t",
+		seed, appIndex, d.Target, d.Deadline,
+		math.Float64bits(d.CapacityFrac), d.FillIdle)
+}
+
+// handleHealthz is liveness: the process is up.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: serving, or draining for shutdown.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
+// handleMetrics exports the ops counters as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache, s.pool))
+}
+
+// catalogResponse is the /v1/catalog document.
+type catalogResponse struct {
+	Seed    uint64       `json:"seed"`
+	Targets []string     `json:"targets"`
+	Apps    []catalogApp `json:"apps"`
+	Tilings []int        `json:"tilingsPerSide"`
+	Ctx     []catalogCtx `json:"contexts"`
+}
+
+type catalogApp struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+}
+
+type catalogCtx struct {
+	Name          string  `json:"name"`
+	Count         int     `json:"count"`
+	HighValueFrac float64 `json:"highValueFrac"`
+}
+
+// handleCatalog lists targets, applications, candidate tilings, and the
+// generated contexts of the (optionally ?seed=) workspace.
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	seed := s.cfg.Seed
+	if q := r.URL.Query().Get("seed"); q != "" {
+		if _, err := fmt.Sscanf(q, "%d", &seed); err != nil {
+			http.Error(w, fmt.Sprintf("bad seed %q", q), http.StatusBadRequest)
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+
+	resp := catalogResponse{Seed: seed}
+	for _, t := range kodan.Targets() {
+		resp.Targets = append(resp.Targets, t.String())
+	}
+	for _, a := range kodan.Applications() {
+		resp.Apps = append(resp.Apps, catalogApp{Index: a.Index, Name: a.Name})
+	}
+	for _, tl := range s.cfg.TransformConfig(seed).Tilings {
+		resp.Tilings = append(resp.Tilings, tl.PerSide)
+	}
+	sys, _, err := s.system(ctx, seed)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	for _, c := range sys.Contexts() {
+		resp.Ctx = append(resp.Ctx, catalogCtx{Name: c.Name, Count: c.Count, HighValueFrac: c.HighValueFrac})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// transformResponse is the /v1/transform document.
+type transformResponse struct {
+	Seed     uint64       `json:"seed"`
+	App      int          `json:"app"`
+	AppName  string       `json:"appName"`
+	Tilings  []int        `json:"tilingsPerSide"`
+	Contexts []catalogCtx `json:"contexts"`
+}
+
+// handleTransform runs (or reuses) the one-time transformation for an
+// application.
+func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if err := decode(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.App < 1 || req.App > len(kodan.Applications()) {
+		http.Error(w, fmt.Sprintf("app must be 1..%d", len(kodan.Applications())), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req)
+	defer cancel()
+
+	seed := s.seedOf(req)
+	app, src, err := s.application(ctx, seed, req.App)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := transformResponse{Seed: seed, App: req.App, AppName: app.Arch().Name}
+	for _, tl := range app.Tilings() {
+		resp.Tilings = append(resp.Tilings, tl.PerSide)
+	}
+	for _, c := range app.ContextStatsList() {
+		resp.Contexts = append(resp.Contexts, catalogCtx{Name: c.Name, Count: c.Count, HighValueFrac: c.HighValueFrac})
+	}
+	w.Header().Set("X-Kodan-Cache", src.String())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePlan generates (or reuses) the selection logic for an app x
+// target x deployment and returns the deployment bundle — the same
+// artifact ExportBundle writes, byte-identical across identical requests.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if err := decode(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.App < 1 || req.App > len(kodan.Applications()) {
+		http.Error(w, fmt.Sprintf("app must be 1..%d", len(kodan.Applications())), http.StatusBadRequest)
+		return
+	}
+	target, err := parseTarget(req.Target)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req)
+	defer cancel()
+
+	seed := s.seedOf(req)
+	d, err := s.deployment(ctx, req, target)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	v, src, err := s.cache.Do(ctx, planKey(seed, req.App, d), func(cctx context.Context) (interface{}, error) {
+		app, _, err := s.application(cctx, seed, req.App)
+		if err != nil {
+			return nil, err
+		}
+		logic, est := app.SelectionLogic(d)
+		var buf bytes.Buffer
+		if err := app.ExportBundle(&buf, d, logic, est); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Kodan-Cache", src.String())
+	w.Write(v.([]byte)) //nolint:errcheck
+}
+
+// simulateResponse is the /v1/simulate document.
+type simulateResponse struct {
+	Seed          uint64  `json:"seed"`
+	App           int     `json:"app"`
+	Target        string  `json:"target"`
+	Mode          string  `json:"mode"`
+	Days          int     `json:"days"`
+	Sats          int     `json:"sats"`
+	FramesPerDay  float64 `json:"framesPerDay"`
+	DeadlineMs    float64 `json:"deadlineMs"`
+	CapacityFrac  float64 `json:"capacityFrac"`
+	TilesPerSide  int     `json:"tilesPerSide,omitempty"`
+	DVD           float64 `json:"dvd"`
+	FrameMs       float64 `json:"frameMs"`
+	ProcessedFrac float64 `json:"processedFrac"`
+	BentPipeDVD   float64 `json:"bentPipeDVD"`
+	// Improvement is DVD relative to the bent pipe (0.9 = +90%).
+	Improvement float64 `json:"improvement"`
+}
+
+// handleSimulate evaluates a deployment mode — Kodan, bent pipe, or prior
+// work's direct deployment — in a simulated mission of the given span and
+// constellation size.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if err := decode(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.App < 1 || req.App > len(kodan.Applications()) {
+		http.Error(w, fmt.Sprintf("app must be 1..%d", len(kodan.Applications())), http.StatusBadRequest)
+		return
+	}
+	target, err := parseTarget(req.Target)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	mode := strings.ToLower(strings.TrimSpace(req.Mode))
+	if mode == "" {
+		mode = "kodan"
+	}
+	switch mode {
+	case "kodan", "bentpipe", "direct":
+	default:
+		http.Error(w, fmt.Sprintf("unknown mode %q (want kodan, bentpipe, or direct)", req.Mode), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.planRequest)
+	defer cancel()
+
+	if req.Days <= 0 {
+		req.Days = 1
+	}
+	if req.Sats <= 0 {
+		req.Sats = 1
+	}
+	m, err := s.mission(ctx, req.Days, req.Sats)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	d := m.Deployment(target)
+	d.FillIdle = !req.NoFill
+
+	seed := s.seedOf(req.planRequest)
+	app, _, err := s.application(ctx, seed, req.App)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	resp := simulateResponse{
+		Seed: seed, App: req.App, Target: target.String(), Mode: mode,
+		Days: req.Days, Sats: req.Sats,
+		FramesPerDay: m.FramesPerDay,
+		DeadlineMs:   float64(d.Deadline.Milliseconds()),
+		CapacityFrac: d.CapacityFrac,
+	}
+	bent := app.BentPipe(d)
+	resp.BentPipeDVD = bent.DVD
+
+	var est kodan.Estimate
+	switch mode {
+	case "kodan":
+		logic, e := app.SelectionLogic(d)
+		est = e
+		resp.TilesPerSide = logic.Tiling.PerSide
+	case "bentpipe":
+		est = bent
+	case "direct":
+		// Prior OEC work: the reference model on every tile; report the
+		// best tiling for it, mirroring the paper's strongest baseline.
+		first := true
+		for _, tl := range app.Tilings() {
+			e, err := app.DirectDeploy(d, tl)
+			if err != nil {
+				s.writeError(w, err)
+				return
+			}
+			if first || e.DVD > est.DVD {
+				est = e
+				resp.TilesPerSide = tl.PerSide
+				first = false
+			}
+		}
+	}
+	resp.DVD = est.DVD
+	resp.FrameMs = float64(est.FrameTime.Milliseconds())
+	resp.ProcessedFrac = est.ProcessedFrac
+	if bent.DVD > 0 {
+		resp.Improvement = est.DVD/bent.DVD - 1
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

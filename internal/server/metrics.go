@@ -1,0 +1,168 @@
+package server
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics collects the server's ops counters: per-route request counts and
+// latency percentiles, cache hit/miss/join counts, transform lifecycle
+// counts, and worker-pool gauges. It is exported as JSON by GET /metrics.
+type Metrics struct {
+	start time.Time
+
+	mu     sync.Mutex
+	routes map[string]*routeStats
+	window int
+
+	transformsStarted   atomic.Int64
+	transformsCompleted atomic.Int64
+	transformsCancelled atomic.Int64
+	transformsFailed    atomic.Int64
+}
+
+// routeStats accumulates one route's counters and a bounded latency
+// reservoir (the most recent window observations).
+type routeStats struct {
+	count    int64
+	byStatus map[int]int64
+	lat      []float64 // ring buffer, milliseconds
+	n        int       // total observations ever
+}
+
+// NewMetrics returns a collector keeping the given number of latency
+// samples per route (0 means a 512-sample default).
+func NewMetrics(window int) *Metrics {
+	if window <= 0 {
+		window = 512
+	}
+	return &Metrics{start: time.Now(), routes: make(map[string]*routeStats), window: window}
+}
+
+// Observe records one served request.
+func (m *Metrics) Observe(route string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.routes[route]
+	if !ok {
+		rs = &routeStats{byStatus: make(map[int]int64), lat: make([]float64, 0, m.window)}
+		m.routes[route] = rs
+	}
+	rs.count++
+	rs.byStatus[status]++
+	ms := float64(d) / float64(time.Millisecond)
+	if len(rs.lat) < m.window {
+		rs.lat = append(rs.lat, ms)
+	} else {
+		rs.lat[rs.n%m.window] = ms
+	}
+	rs.n++
+}
+
+// Transform lifecycle hooks, called by the server around each underlying
+// transformation run.
+func (m *Metrics) TransformStarted()   { m.transformsStarted.Add(1) }
+func (m *Metrics) TransformCompleted() { m.transformsCompleted.Add(1) }
+func (m *Metrics) TransformCancelled() { m.transformsCancelled.Add(1) }
+func (m *Metrics) TransformFailed()    { m.transformsFailed.Add(1) }
+
+// LatencySnapshot holds nearest-rank percentiles in milliseconds over the
+// route's reservoir.
+type LatencySnapshot struct {
+	P50 float64 `json:"p50Ms"`
+	P90 float64 `json:"p90Ms"`
+	P99 float64 `json:"p99Ms"`
+	Max float64 `json:"maxMs"`
+}
+
+// RouteSnapshot is one route's exported counters.
+type RouteSnapshot struct {
+	Count    int64            `json:"count"`
+	ByStatus map[string]int64 `json:"byStatus"`
+	Latency  LatencySnapshot  `json:"latency"`
+}
+
+// CacheSnapshot is the cache's exported counters.
+type CacheSnapshot struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Joins   int64 `json:"singleFlightJoins"`
+	Entries int   `json:"entries"`
+}
+
+// TransformSnapshot is the transform lifecycle counters.
+type TransformSnapshot struct {
+	Started   int64 `json:"started"`
+	Completed int64 `json:"completed"`
+	Cancelled int64 `json:"cancelled"`
+	Failed    int64 `json:"failed"`
+}
+
+// Snapshot is the full /metrics document.
+type Snapshot struct {
+	UptimeSeconds float64                  `json:"uptimeSeconds"`
+	Requests      map[string]RouteSnapshot `json:"requests"`
+	Cache         CacheSnapshot            `json:"cache"`
+	Pool          PoolStats                `json:"pool"`
+	Transforms    TransformSnapshot        `json:"transforms"`
+}
+
+// Snapshot assembles the exported document from the collector plus the
+// cache and pool gauges.
+func (m *Metrics) Snapshot(cache *Cache, pool *Pool) Snapshot {
+	snap := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      make(map[string]RouteSnapshot),
+		Transforms: TransformSnapshot{
+			Started:   m.transformsStarted.Load(),
+			Completed: m.transformsCompleted.Load(),
+			Cancelled: m.transformsCancelled.Load(),
+			Failed:    m.transformsFailed.Load(),
+		},
+	}
+	if cache != nil {
+		h, mi, j := cache.Stats()
+		snap.Cache = CacheSnapshot{Hits: h, Misses: mi, Joins: j, Entries: cache.Len()}
+	}
+	if pool != nil {
+		snap.Pool = pool.Stats()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for route, rs := range m.routes {
+		out := RouteSnapshot{Count: rs.count, ByStatus: make(map[string]int64)}
+		for code, n := range rs.byStatus {
+			out.ByStatus[strconv.Itoa(code)] = n
+		}
+		if len(rs.lat) > 0 {
+			sorted := append([]float64(nil), rs.lat...)
+			sort.Float64s(sorted)
+			out.Latency = LatencySnapshot{
+				P50: percentile(sorted, 50),
+				P90: percentile(sorted, 90),
+				P99: percentile(sorted, 99),
+				Max: sorted[len(sorted)-1],
+			}
+		}
+		snap.Requests[route] = out
+	}
+	return snap
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted data.
+func percentile(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

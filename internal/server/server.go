@@ -1,0 +1,232 @@
+// Package server is the ground-segment mission-planning service: a
+// stdlib-only net/http JSON front end over the one-time transformation
+// pipeline (kodan.System), the selection-logic generator, and the orbital
+// simulator. It is the serving layer the paper's workflow implies — the
+// transformation runs on the ground, and many consumers (operators,
+// uplink schedulers, capacity planners) query its outputs.
+//
+// Because a transformation is seconds-expensive and fully deterministic
+// (seeded SplitMix64), the server is built around three production
+// mechanisms:
+//
+//   - a single-flight result cache keyed by (seed, app) for transforms and
+//     (seed, app, target, deployment) for plans, so N identical concurrent
+//     requests trigger exactly one computation and repeat requests are
+//     served from memory;
+//   - a bounded worker pool with a bounded wait queue for the expensive
+//     computations, returning 429 + Retry-After under saturation instead
+//     of unbounded latency;
+//   - per-request context cancellation: a client that disconnects or
+//     times out propagates — via reference-counted cache entries — into
+//     the training loops, which check their context between epochs.
+//
+// Ops surface: GET /healthz (liveness), GET /readyz (serving/draining),
+// GET /metrics (JSON counters: request counts, latency percentiles, cache
+// hits/misses, pool gauges, transform lifecycle). Shutdown drains
+// in-flight requests before closing the listener.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"kodan"
+)
+
+// TransformFunc runs the one-time transformation of one application on a
+// built system. The default is (*kodan.System).TransformCtx; tests
+// substitute counting or blocking implementations.
+type TransformFunc func(ctx context.Context, sys *kodan.System, appIndex int) (*kodan.Application, error)
+
+// NewSystemFunc builds the transformation workspace for a seed. The
+// default wires Config.TransformConfig into kodan.NewSystemCtx.
+type NewSystemFunc func(ctx context.Context, cfg kodan.TransformConfig) (*kodan.System, error)
+
+// Config sizes the server.
+type Config struct {
+	// Seed is the default transformation seed when a request omits one.
+	Seed uint64
+	// Workers bounds concurrently running transforms (default 2).
+	Workers int
+	// QueueDepth bounds transforms waiting for a worker (default 8).
+	QueueDepth int
+	// Timeout is the per-request ceiling for the expensive endpoints
+	// (default 120s). A request's own timeoutMs may shorten it.
+	Timeout time.Duration
+	// MetricsWindow is the per-route latency reservoir size (default 512).
+	MetricsWindow int
+	// TransformConfig maps a seed to the transformation sizing (default
+	// kodan.DefaultTransformConfig).
+	TransformConfig func(seed uint64) kodan.TransformConfig
+	// NewSystem and Transform override the underlying pipeline (tests).
+	NewSystem NewSystemFunc
+	Transform TransformFunc
+	// SimEpoch anchors the orbital simulation (default 2023-03-25 UTC,
+	// the reproduction's reference epoch); fixing it keeps every
+	// response deterministic for a given request.
+	SimEpoch time.Time
+	// Logf, when set, receives one line per served request.
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 120 * time.Second
+	}
+	if c.TransformConfig == nil {
+		c.TransformConfig = kodan.DefaultTransformConfig
+	}
+	if c.NewSystem == nil {
+		c.NewSystem = kodan.NewSystemCtx
+	}
+	if c.Transform == nil {
+		c.Transform = func(ctx context.Context, sys *kodan.System, appIndex int) (*kodan.Application, error) {
+			return sys.TransformCtx(ctx, appIndex)
+		}
+	}
+	if c.SimEpoch.IsZero() {
+		c.SimEpoch = time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC)
+	}
+	return c
+}
+
+// Server is the mission-planning service. Create with New, serve with
+// ListenAndServe or Serve, stop with Shutdown (graceful) or Close.
+type Server struct {
+	cfg Config
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	cache   *Cache
+	pool    *Pool
+	metrics *Metrics
+
+	handler http.Handler
+	httpSrv *http.Server
+
+	draining atomic.Bool
+}
+
+// New builds a server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		baseCtx:    base,
+		baseCancel: cancel,
+		cache:      NewCache(base),
+		pool:       NewPool(cfg.Workers, cfg.QueueDepth),
+		metrics:    NewMetrics(cfg.MetricsWindow),
+	}
+	s.handler = s.routes()
+	s.httpSrv = &http.Server{Handler: s.handler}
+	return s
+}
+
+// Handler returns the server's HTTP handler (for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics exposes the collector (read-only use).
+func (s *Server) Metrics() Snapshot { return s.metrics.Snapshot(s.cache, s.pool) }
+
+// ListenAndServe binds addr and serves until Shutdown or a listener
+// error. It returns http.ErrServerClosed after a clean shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve serves on an existing listener (the listener is closed on
+// shutdown).
+func (s *Server) Serve(l net.Listener) error {
+	return s.httpSrv.Serve(l)
+}
+
+// Shutdown gracefully stops the server: /readyz starts failing, the
+// listener closes to new connections, and in-flight requests are given
+// until ctx expires to complete. Any computation still running after the
+// drain (e.g. a cached transform with no remaining waiter) is cancelled.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.httpSrv.Shutdown(ctx)
+	s.baseCancel()
+	return err
+}
+
+// Close stops immediately without draining.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.baseCancel()
+	return s.httpSrv.Close()
+}
+
+// routes assembles the mux with the metrics/logging middleware on every
+// route.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
+	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.Handle("GET /v1/catalog", s.instrument("/v1/catalog", s.handleCatalog))
+	mux.Handle("POST /v1/transform", s.instrument("/v1/transform", s.handleTransform))
+	mux.Handle("POST /v1/plan", s.instrument("/v1/plan", s.handlePlan))
+	mux.Handle("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
+	return mux
+}
+
+// instrument wraps a handler with panic recovery, latency/status
+// accounting, and optional logging.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				if !sw.wrote {
+					http.Error(sw, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
+				}
+			}
+			d := time.Since(start)
+			s.metrics.Observe(route, sw.status, d)
+			if s.cfg.Logf != nil {
+				s.cfg.Logf("%s %s -> %d in %v", r.Method, r.URL.Path, sw.status, d.Round(time.Millisecond))
+			}
+		}()
+		h(sw, r)
+	})
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}

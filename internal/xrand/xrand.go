@@ -11,6 +11,17 @@ import "math"
 
 // Rand is a deterministic pseudo-random number generator. The zero value is
 // a valid generator seeded with 0; use New to seed explicitly.
+//
+// A *Rand is NOT safe for concurrent use: every draw mutates the single
+// 64-bit state, and unsynchronized access both races and destroys
+// reproducibility. Concurrent code must not share one generator; instead,
+// derive an independent stream per goroutine (or per request) from a pure
+// seed function of the work item — e.g. New(seed ^ mix(itemIndex)) or a
+// Split taken at a fixed sequential point — so each stream's output is a
+// function of the item alone, independent of scheduling order. The server
+// and the transformation pipeline rely on this: per-(app, tiling)
+// generators make concurrent transforms bit-identical to sequential ones
+// (see TestDerivedStreamsConcurrencyInvariant).
 type Rand struct {
 	state uint64
 }

@@ -36,6 +36,7 @@
 package kodan
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -129,7 +130,15 @@ type System struct {
 
 // NewSystem renders the representative dataset and builds contexts.
 func NewSystem(cfg TransformConfig) (*System, error) {
-	ws, err := core.NewWorkspace(cfg)
+	return NewSystemCtx(context.Background(), cfg)
+}
+
+// NewSystemCtx is NewSystem with cooperative cancellation: ctx is checked
+// between the expensive build stages (per-tiling dataset renders,
+// clustering, engine training) and ctx.Err() is returned promptly once
+// the context is done.
+func NewSystemCtx(ctx context.Context, cfg TransformConfig) (*System, error) {
+	ws, err := core.NewWorkspaceCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -145,10 +154,22 @@ func (s *System) ContextCount() int { return s.ws.Ctx.K }
 // Transform runs the one-time transformation for the application with the
 // given 1-based Table 1 index.
 func (s *System) Transform(appIndex int) (*Application, error) {
+	return s.TransformCtx(context.Background(), appIndex)
+}
+
+// TransformCtx is Transform with cooperative cancellation: ctx is checked
+// between tilings, model trainings, and training epochs, so a cancelled
+// transform returns ctx.Err() promptly instead of running to completion.
+// Completed transforms are bit-identical to Transform with the same seed.
+//
+// Concurrent TransformCtx calls on one System are safe: the workspace's
+// datasets and context engine are read-only after NewSystem, and each
+// (application, tiling) derives its randomness from the seed alone.
+func (s *System) TransformCtx(ctx context.Context, appIndex int) (*Application, error) {
 	if appIndex < 1 || appIndex > len(app.Apps()) {
 		return nil, fmt.Errorf("kodan: no application %d", appIndex)
 	}
-	art, err := s.ws.TransformApp(app.App(appIndex))
+	art, err := s.ws.TransformAppCtx(ctx, app.App(appIndex))
 	if err != nil {
 		return nil, err
 	}
@@ -200,6 +221,16 @@ func (a *Application) Evaluate(sel Selection, d Deployment) (Estimate, error) {
 // payload).
 func (a *Application) Runtime(sel Selection, target Target, frameBits float64) (*Runtime, error) {
 	return a.art.Runtime(sel, target, frameBits)
+}
+
+// Tilings returns the candidate tilings the application was profiled at,
+// in workspace sweep order.
+func (a *Application) Tilings() []Tiling {
+	out := make([]Tiling, len(a.art.Profiles))
+	for i, p := range a.art.Profiles {
+		out[i] = p.Tiling
+	}
+	return out
 }
 
 // ProfileFor returns the measured per-context profile at one tiling, for

@@ -175,3 +175,33 @@ func TestBundleRoundTripThroughPublicAPI(t *testing.T) {
 		t.Fatalf("reimported DVD %.4f != %.4f", est2.DVD, est.DVD)
 	}
 }
+
+// TestImportSelectionHostileInputs verifies that untrusted bundle bytes —
+// truncated, version-skewed, or value-corrupted — surface as descriptive
+// errors from the public API and never panic or yield a usable Selection.
+func TestImportSelectionHostileInputs(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"truncated":        `{"schemaVersion":1,"tilesPerSide":3,"contexts":[{"ac`,
+		"wrong version":    `{"schemaVersion":7,"tilesPerSide":3,"contexts":[{"action":"discard"}]}`,
+		"negative tiling":  `{"schemaVersion":1,"tilesPerSide":-1,"contexts":[{"action":"discard"}]}`,
+		"unknown action":   `{"schemaVersion":1,"tilesPerSide":3,"contexts":[{"action":"teleport"}]}`,
+		"contexts missing": `{"schemaVersion":1,"tilesPerSide":3}`,
+	}
+	for name, raw := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("ImportSelection panicked: %v", rec)
+				}
+			}()
+			sel, err := ImportSelection(bytes.NewReader([]byte(raw)))
+			if err == nil {
+				t.Fatalf("hostile bundle accepted: %+v", sel)
+			}
+			if err.Error() == "" {
+				t.Fatal("error has no description")
+			}
+		})
+	}
+}
