@@ -1,4 +1,6 @@
 GO ?= go
+SIZE ?= full
+PARALLEL ?= 0
 
 .PHONY: build test race verify bench fmt
 
@@ -15,8 +17,12 @@ race:
 verify:
 	sh scripts/verify.sh
 
+# bench runs the Go micro/figure benchmarks, then regenerates every
+# BENCH_*.json artifact by running the full figure suite through
+# kodan-bench. SIZE=quick PARALLEL=4 make bench for a faster pass.
 bench:
 	$(GO) test -bench=. -benchmem
+	$(GO) run ./cmd/kodan-bench -size $(SIZE) -parallel $(PARALLEL) -json .
 
 fmt:
 	gofmt -w .

@@ -31,6 +31,7 @@ import (
 	"kodan/internal/orbit"
 	"kodan/internal/pipeline"
 	"kodan/internal/policy"
+	"kodan/internal/sim"
 	"kodan/internal/station"
 	"kodan/internal/tiling"
 	"kodan/internal/value"
@@ -371,6 +372,51 @@ func BenchmarkAblationElision(b *testing.B) {
 	}
 	b.ReportMetric(withElision, "dvd-with-elision")
 	b.ReportMetric(without, "dvd-all-specialized")
+}
+
+// --- Parallel evaluation engine ---
+
+// BenchmarkSimRunWorkers measures the constellation simulation at the
+// sequential and parallel worker settings. The output is bit-identical at
+// every setting (the golden-determinism tests enforce this), so the
+// workers=1 / workers=4 ratio is a pure scaling measurement; on a 4+ core
+// machine the parallel run should approach the core count.
+func BenchmarkSimRunWorkers(b *testing.B) {
+	epoch := time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := sim.Landsat8Config(epoch, 24*time.Hour, 8)
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.FramesObserved() == 0 {
+					b.Fatal("empty simulation")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure10Workers measures one full figure sweep — the Figure 10
+// execution-time curve plus its measured deployment points — sequentially
+// and on four workers, over the shared warmed lab (so it isolates the
+// sweep itself, not the one-time transformation).
+func BenchmarkFigure10Workers(b *testing.B) {
+	l := benchLab(b)
+	defer func() { l.Workers = 0 }()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			l.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Figure10(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Substrate microbenchmarks ---

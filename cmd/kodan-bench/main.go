@@ -5,29 +5,156 @@
 //
 // Usage:
 //
-//	kodan-bench [-size full|quick] [-only table1,fig2,...] [-csv DIR] [-json DIR]
+//	kodan-bench [-size full|quick] [-parallel N] [-only table1,fig2,...] [-csv DIR] [-json DIR]
 //
-// -csv writes one <figure>.csv per selected table/figure; -json writes one
+// -parallel bounds the evaluation worker pool (0 = GOMAXPROCS, 1 =
+// sequential); every setting produces byte-identical output. -csv writes
+// one <figure>.csv per selected table/figure; -json writes one
 // BENCH_<figure>.json (an array of row objects) for machine consumption.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"kodan/internal/experiments"
 )
+
+// generator produces one table or figure: the rendered text plus the typed
+// rows for CSV/JSON export.
+type generator struct {
+	key string
+	gen func(ctx context.Context) (string, interface{}, error)
+}
+
+// generators lists every table and figure in report order.
+func generators(lab *experiments.Lab) []generator {
+	return []generator{
+		{"table1", func(context.Context) (string, interface{}, error) {
+			rows := experiments.Table1()
+			return experiments.RenderTable1(rows), rows, nil
+		}},
+		{"fig2", func(ctx context.Context) (string, interface{}, error) {
+			rows, err := lab.Figure2Ctx(ctx, lab.SatCounts())
+			return experiments.RenderFigure2(rows), rows, err
+		}},
+		{"fig3", func(ctx context.Context) (string, interface{}, error) {
+			rows, err := lab.Figure3Ctx(ctx, lab.SatCounts())
+			return experiments.RenderFigure3(rows), rows, err
+		}},
+		{"fig4", func(ctx context.Context) (string, interface{}, error) {
+			rows, err := lab.Figure4Ctx(ctx)
+			return experiments.RenderFigure4(rows), rows, err
+		}},
+		{"fig5", func(ctx context.Context) (string, interface{}, error) {
+			rows, err := lab.Figure5Ctx(ctx, lab.SatCounts())
+			return experiments.RenderFigure5(rows), rows, err
+		}},
+		{"fig8", func(ctx context.Context) (string, interface{}, error) {
+			rows, err := lab.Figure8Ctx(ctx)
+			if err != nil {
+				return "", nil, err
+			}
+			lo, hi := experiments.Headline(rows)
+			return experiments.RenderFigure8(rows) +
+				fmt.Sprintf("headline: Kodan improves DVD %.0f%%..%.0f%% over the bent pipe (paper: 89-97%%)\n",
+					lo*100, hi*100), rows, nil
+		}},
+		{"fig9", func(ctx context.Context) (string, interface{}, error) {
+			rows, err := lab.Figure9Ctx(ctx)
+			return experiments.RenderFigure9(rows), rows, err
+		}},
+		{"fig10", func(ctx context.Context) (string, interface{}, error) {
+			pts, err := lab.Figure10Ctx(ctx)
+			return experiments.RenderFigure10(pts), pts, err
+		}},
+		{"fig11", func(ctx context.Context) (string, interface{}, error) {
+			rows, err := lab.Figure11Ctx(ctx)
+			return experiments.RenderFigure11(rows), rows, err
+		}},
+		{"fig12", func(ctx context.Context) (string, interface{}, error) {
+			rows, err := lab.Figure12Ctx(ctx)
+			return experiments.RenderFigure12(rows), rows, err
+		}},
+		{"fig13", func(ctx context.Context) (string, interface{}, error) {
+			rows, err := lab.Figure13Ctx(ctx)
+			return experiments.RenderFigure13(rows), rows, err
+		}},
+		{"fig14", func(ctx context.Context) (string, interface{}, error) {
+			rows, err := lab.Figure14Ctx(ctx)
+			return experiments.RenderFigure14(rows), rows, err
+		}},
+		{"fig15", func(ctx context.Context) (string, interface{}, error) {
+			rows, err := lab.Figure15Ctx(ctx)
+			return experiments.RenderFigure15(rows), rows, err
+		}},
+		{"ablation-k", func(ctx context.Context) (string, interface{}, error) {
+			ks := []int{2, 4, 6, 8, 10}
+			if lab.Size == experiments.Quick {
+				ks = []int{2, 6}
+			}
+			rows, err := lab.AblationContextCountCtx(ctx, ks)
+			return experiments.RenderAblationContextCount(rows), rows, err
+		}},
+		{"ablation-source", func(ctx context.Context) (string, interface{}, error) {
+			rows, err := lab.AblationContextSourceCtx(ctx)
+			return experiments.RenderAblationContextSource(rows), rows, err
+		}},
+	}
+}
+
+// selectGenerators filters the table by a comma-separated -only value,
+// preserving report order. An unknown name is an error listing the valid
+// keys — silently producing no output would mask typos like "fig7".
+func selectGenerators(gens []generator, only string) ([]generator, error) {
+	if strings.TrimSpace(only) == "" {
+		return gens, nil
+	}
+	want := map[string]bool{}
+	for _, k := range strings.Split(only, ",") {
+		k = strings.TrimSpace(k)
+		if k == "" {
+			continue
+		}
+		found := false
+		for _, g := range gens {
+			if g.key == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			keys := make([]string, len(gens))
+			for i, g := range gens {
+				keys[i] = g.key
+			}
+			return nil, fmt.Errorf("unknown figure %q in -only; valid names: %s", k, strings.Join(keys, ", "))
+		}
+		want[k] = true
+	}
+	var out []generator
+	for _, g := range gens {
+		if want[g.key] {
+			out = append(out, g)
+		}
+	}
+	return out, nil
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("kodan-bench: ")
 	sizeFlag := flag.String("size", "full", "experiment scale: full or quick")
 	onlyFlag := flag.String("only", "", "comma-separated subset (table1,fig2,...,fig15,ablation-k,ablation-source)")
+	parallelFlag := flag.Int("parallel", 0, "evaluation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files to this directory")
 	jsonDir := flag.String("json", "", "also write one BENCH_<figure>.json per table/figure to this directory")
 	flag.Parse()
@@ -49,15 +176,17 @@ func main() {
 		log.Fatalf("unknown -size %q", *sizeFlag)
 	}
 
-	want := map[string]bool{}
-	if *onlyFlag != "" {
-		for _, k := range strings.Split(*onlyFlag, ",") {
-			want[strings.TrimSpace(k)] = true
-		}
-	}
-	selected := func(k string) bool { return len(want) == 0 || want[k] }
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	lab := experiments.NewLab(size)
+	lab.Workers = *parallelFlag
+
+	gens, err := selectGenerators(generators(lab), *onlyFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	start := time.Now()
 
 	writeCSV := func(key string, rows interface{}) {
@@ -88,91 +217,17 @@ func main() {
 		}
 	}
 
-	run := func(key string, gen func() (string, interface{}, error)) {
-		if !selected(key) {
-			return
-		}
+	for _, g := range gens {
 		t0 := time.Now()
-		out, rows, err := gen()
+		out, rows, err := g.gen(ctx)
 		if err != nil {
-			log.Fatalf("%s: %v", key, err)
+			log.Fatalf("%s: %v", g.key, err)
 		}
 		fmt.Println(out)
-		writeCSV(key, rows)
-		writeJSON(key, rows)
-		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", key, time.Since(t0).Round(time.Millisecond))
+		writeCSV(g.key, rows)
+		writeJSON(g.key, rows)
+		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", g.key, time.Since(t0).Round(time.Millisecond))
 	}
-
-	run("table1", func() (string, interface{}, error) {
-		rows := experiments.Table1()
-		return experiments.RenderTable1(rows), rows, nil
-	})
-	run("fig2", func() (string, interface{}, error) {
-		rows, err := lab.Figure2(lab.SatCounts())
-		return experiments.RenderFigure2(rows), rows, err
-	})
-	run("fig3", func() (string, interface{}, error) {
-		rows, err := lab.Figure3(lab.SatCounts())
-		return experiments.RenderFigure3(rows), rows, err
-	})
-	run("fig4", func() (string, interface{}, error) {
-		rows, err := lab.Figure4()
-		return experiments.RenderFigure4(rows), rows, err
-	})
-	run("fig5", func() (string, interface{}, error) {
-		rows, err := lab.Figure5(lab.SatCounts())
-		return experiments.RenderFigure5(rows), rows, err
-	})
-	run("fig8", func() (string, interface{}, error) {
-		rows, err := lab.Figure8()
-		if err != nil {
-			return "", nil, err
-		}
-		lo, hi := experiments.Headline(rows)
-		return experiments.RenderFigure8(rows) +
-			fmt.Sprintf("headline: Kodan improves DVD %.0f%%..%.0f%% over the bent pipe (paper: 89-97%%)\n",
-				lo*100, hi*100), rows, nil
-	})
-	run("fig9", func() (string, interface{}, error) {
-		rows, err := lab.Figure9()
-		return experiments.RenderFigure9(rows), rows, err
-	})
-	run("fig10", func() (string, interface{}, error) {
-		pts, err := lab.Figure10()
-		return experiments.RenderFigure10(pts), pts, err
-	})
-	run("fig11", func() (string, interface{}, error) {
-		rows, err := lab.Figure11()
-		return experiments.RenderFigure11(rows), rows, err
-	})
-	run("fig12", func() (string, interface{}, error) {
-		rows, err := lab.Figure12()
-		return experiments.RenderFigure12(rows), rows, err
-	})
-	run("fig13", func() (string, interface{}, error) {
-		rows, err := lab.Figure13()
-		return experiments.RenderFigure13(rows), rows, err
-	})
-	run("fig14", func() (string, interface{}, error) {
-		rows, err := lab.Figure14()
-		return experiments.RenderFigure14(rows), rows, err
-	})
-	run("fig15", func() (string, interface{}, error) {
-		rows, err := lab.Figure15()
-		return experiments.RenderFigure15(rows), rows, err
-	})
-	run("ablation-k", func() (string, interface{}, error) {
-		ks := []int{2, 4, 6, 8, 10}
-		if size == experiments.Quick {
-			ks = []int{2, 6}
-		}
-		rows, err := lab.AblationContextCount(ks)
-		return experiments.RenderAblationContextCount(rows), rows, err
-	})
-	run("ablation-source", func() (string, interface{}, error) {
-		rows, err := lab.AblationContextSource()
-		return experiments.RenderAblationContextSource(rows), rows, err
-	})
 
 	fmt.Fprintf(os.Stderr, "total: %v\n", time.Since(start).Round(time.Millisecond))
 }

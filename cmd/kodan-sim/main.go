@@ -4,13 +4,20 @@
 //
 // Usage:
 //
-//	kodan-sim [-sats 4] [-hours 24] [-planes 1] [-camera ms|hyper]
+//	kodan-sim [-sats 4] [-hours 24] [-planes 1] [-camera ms|hyper] [-parallel N]
+//
+// -parallel bounds the per-satellite propagation worker pool (0 =
+// GOMAXPROCS, 1 = sequential); every setting produces identical ledgers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"kodan/internal/sense"
@@ -24,11 +31,13 @@ func main() {
 	hours := flag.Int("hours", 24, "simulated duration in hours")
 	planes := flag.Int("planes", 1, "orbital planes")
 	camera := flag.String("camera", "ms", "payload: ms (multispectral) or hyper")
+	parallel := flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	epoch := time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC)
 	cfg := sim.Landsat8Config(epoch, time.Duration(*hours)*time.Hour, *sats)
 	cfg.Planes = *planes
+	cfg.Workers = *parallel
 	switch *camera {
 	case "ms":
 	case "hyper":
@@ -37,7 +46,10 @@ func main() {
 		log.Fatalf("unknown -camera %q", *camera)
 	}
 
-	res, err := sim.Run(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := sim.RunCtx(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"kodan/internal/core"
 	"kodan/internal/ctxengine"
 	"kodan/internal/hw"
+	"kodan/internal/parallel"
 )
 
 // AblationKRow is one cluster-count setting of the context-count ablation.
@@ -30,32 +32,42 @@ type AblationKRow struct {
 // its own workspace (contexts shape everything downstream), so this is the
 // most expensive ablation; it runs at the lab's Quick/Full dataset sizing.
 func (l *Lab) AblationContextCount(ks []int) ([]AblationKRow, error) {
-	d, err := l.Deployment(hw.Orin15W)
+	return l.AblationContextCountCtx(context.Background(), ks)
+}
+
+// AblationContextCountCtx is AblationContextCount with cancellation; the
+// per-K workspace builds run on the lab's worker pool.
+func (l *Lab) AblationContextCountCtx(ctx context.Context, ks []int) ([]AblationKRow, error) {
+	d, err := l.DeploymentCtx(ctx, hw.Orin15W)
 	if err != nil {
 		return nil, err
 	}
-	var rows []AblationKRow
-	for _, k := range ks {
+	rows := make([]AblationKRow, len(ks))
+	err = parallel.ForEach(ctx, l.workers(), len(ks), func(ctx context.Context, j int) error {
 		cfg := l.transformConfig()
 		cfg.Context = ctxengine.DefaultConfig()
-		cfg.Context.Ks = []int{k}
-		ws, err := core.NewWorkspace(cfg)
+		cfg.Context.Ks = []int{ks[j]}
+		ws, err := core.NewWorkspaceCtx(ctx, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		art, err := ws.TransformApp(app.App(4))
+		art, err := ws.TransformAppCtx(ctx, app.App(4))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		_, est := art.SelectionLogic(d)
 		coarse := art.Profiles[len(art.Profiles)-1]
 		suite := art.Suites[coarse.Tiling.PerSide]
-		rows = append(rows, AblationKRow{
+		rows[j] = AblationKRow{
 			K:             ws.Ctx.K,
 			EngineAcc:     ws.Ctx.TrainAccuracy,
 			SpecPrecision: suite.Quality.SpecialAll.Precision(),
 			KodanDVD:      est.DVD,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -87,33 +99,45 @@ type AblationSourceRow struct {
 // expert (geography-class) contexts end to end — Section 3.2 presents the
 // two as alternatives.
 func (l *Lab) AblationContextSource() ([]AblationSourceRow, error) {
-	d, err := l.Deployment(hw.Orin15W)
+	return l.AblationContextSourceCtx(context.Background())
+}
+
+// AblationContextSourceCtx is AblationContextSource with cancellation; the
+// two workspace builds run on the lab's worker pool.
+func (l *Lab) AblationContextSourceCtx(ctx context.Context) ([]AblationSourceRow, error) {
+	d, err := l.DeploymentCtx(ctx, hw.Orin15W)
 	if err != nil {
 		return nil, err
 	}
-	var rows []AblationSourceRow
-	for _, src := range []struct {
+	sources := []struct {
 		name string
 		s    ctxengine.Source
-	}{{"automatic", ctxengine.Auto}, {"expert", ctxengine.Expert}} {
+	}{{"automatic", ctxengine.Auto}, {"expert", ctxengine.Expert}}
+	rows := make([]AblationSourceRow, len(sources))
+	err = parallel.ForEach(ctx, l.workers(), len(sources), func(ctx context.Context, j int) error {
+		src := sources[j]
 		cfg := l.transformConfig()
 		cfg.Context = ctxengine.DefaultConfig()
 		cfg.Context.Source = src.s
-		ws, err := core.NewWorkspace(cfg)
+		ws, err := core.NewWorkspaceCtx(ctx, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		art, err := ws.TransformApp(app.App(4))
+		art, err := ws.TransformAppCtx(ctx, app.App(4))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		_, est := art.SelectionLogic(d)
-		rows = append(rows, AblationSourceRow{
+		rows[j] = AblationSourceRow{
 			Source:    src.name,
 			K:         ws.Ctx.K,
 			EngineAcc: ws.Ctx.TrainAccuracy,
 			KodanDVD:  est.DVD,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

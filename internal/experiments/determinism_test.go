@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// figureOutputs runs every figure of a lab and returns, per figure key,
+// the rendered table plus its typed rows for CSV/JSON export.
+type figureOutput struct {
+	render string
+	rows   interface{}
+}
+
+func figureOutputs(t *testing.T, l *Lab) map[string]figureOutput {
+	t.Helper()
+	out := map[string]figureOutput{}
+	add := func(key, render string, rows interface{}, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		out[key] = figureOutput{render, rows}
+	}
+	f2, err := l.Figure2(l.SatCounts())
+	add("fig2", RenderFigure2(f2), f2, err)
+	f3, err := l.Figure3(l.SatCounts())
+	add("fig3", RenderFigure3(f3), f3, err)
+	f4, err := l.Figure4()
+	add("fig4", RenderFigure4(f4), f4, err)
+	f5, err := l.Figure5(l.SatCounts())
+	add("fig5", RenderFigure5(f5), f5, err)
+	f8, err := l.Figure8()
+	add("fig8", RenderFigure8(f8), f8, err)
+	f9, err := l.Figure9()
+	add("fig9", RenderFigure9(f9), f9, err)
+	f10, err := l.Figure10()
+	add("fig10", RenderFigure10(f10), f10, err)
+	f11, err := l.Figure11()
+	add("fig11", RenderFigure11(f11), f11, err)
+	f12, err := l.Figure12()
+	add("fig12", RenderFigure12(f12), f12, err)
+	f13, err := l.Figure13()
+	add("fig13", RenderFigure13(f13), f13, err)
+	f14, err := l.Figure14()
+	add("fig14", RenderFigure14(f14), f14, err)
+	f15, err := l.Figure15()
+	add("fig15", RenderFigure15(f15), f15, err)
+	return out
+}
+
+// encode returns a figure's CSV and JSON export bytes.
+func encode(t *testing.T, key string, rows interface{}) (csv, json []byte) {
+	t.Helper()
+	var c, j bytes.Buffer
+	if err := WriteCSV(&c, rows); err != nil {
+		t.Fatalf("%s: WriteCSV: %v", key, err)
+	}
+	if err := WriteJSON(&j, rows); err != nil {
+		t.Fatalf("%s: WriteJSON: %v", key, err)
+	}
+	return c.Bytes(), j.Bytes()
+}
+
+// TestFiguresDeterministicAcrossWorkers is the engine's end-to-end
+// contract: every figure — rendered table, CSV bytes, and JSON bytes — is
+// identical between the sequential path (Workers=1) and the parallel path
+// (Workers=4).
+func TestFiguresDeterministicAcrossWorkers(t *testing.T) {
+	seq := NewLab(Quick)
+	seq.Workers = 1
+	par := NewLab(Quick)
+	par.Workers = 4
+
+	seqOut := figureOutputs(t, seq)
+	parOut := figureOutputs(t, par)
+
+	if len(seqOut) != len(parOut) {
+		t.Fatalf("figure sets differ: %d vs %d", len(seqOut), len(parOut))
+	}
+	for key, s := range seqOut {
+		p, ok := parOut[key]
+		if !ok {
+			t.Errorf("%s: missing from parallel lab", key)
+			continue
+		}
+		if s.render != p.render {
+			t.Errorf("%s: render differs between Workers=1 and Workers=4:\n--- sequential\n%s\n--- parallel\n%s", key, s.render, p.render)
+			continue
+		}
+		sc, sj := encode(t, key, s.rows)
+		pc, pj := encode(t, key, p.rows)
+		if !bytes.Equal(sc, pc) {
+			t.Errorf("%s: CSV bytes differ between worker counts", key)
+		}
+		if !bytes.Equal(sj, pj) {
+			t.Errorf("%s: JSON bytes differ between worker counts", key)
+		}
+	}
+}
+
+// TestFigure2ThirdWorkerCount re-runs the pure-simulation figure at a
+// third, odd worker count (one that does not divide the sweep evenly) and
+// at the GOMAXPROCS default, pinning the engine's scheduling-independence
+// beyond the two counts the full sweep above covers.
+func TestFigure2ThirdWorkerCount(t *testing.T) {
+	render := func(workers int) string {
+		l := NewLab(Quick)
+		l.Workers = workers
+		rows, err := l.Figure2(l.SatCounts())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return RenderFigure2(rows)
+	}
+	want := render(1)
+	for _, workers := range []int{3, 0} {
+		if got := render(workers); got != want {
+			t.Errorf("Figure2 differs at Workers=%d:\n--- sequential\n%s\n--- Workers=%d\n%s", workers, want, workers, got)
+		}
+	}
+}
+
+// goldenCompare checks got against testdata/<name>, rewriting the file
+// under -update.
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test ./internal/experiments -run Golden -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file:\n--- got\n%s\n--- want\n%s", name, got, want)
+	}
+}
+
+// TestTable1Golden pins Table 1's render and CSV export byte for byte.
+func TestTable1Golden(t *testing.T) {
+	rows := Table1()
+	goldenCompare(t, "table1.render.golden", []byte(RenderTable1(rows)))
+	csv, _ := encode(t, "table1", rows)
+	goldenCompare(t, "table1.csv.golden", csv)
+}
+
+// TestFigure8QuickGolden pins the Quick-size Figure 8 render byte for
+// byte: any change to the transformation pipeline, the policy optimizer,
+// the simulation, or the parallel engine that shifts a number shows up
+// here as a diff.
+func TestFigure8QuickGolden(t *testing.T) {
+	l := testLab(t)
+	rows, err := l.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "fig8_quick.render.golden", []byte(RenderFigure8(rows)))
+}

@@ -1,14 +1,35 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"kodan/internal/hw"
+	"kodan/internal/parallel"
 	"kodan/internal/policy"
 	"kodan/internal/tiling"
 )
+
+// targetApp is one (hardware target, application) cell of the evaluation
+// sweeps; the pairs are enumerated in render order before any fan-out so
+// parallel rows land exactly where the sequential loop would put them.
+type targetApp struct {
+	target hw.Target
+	app    int
+}
+
+// targetAppPairs enumerates every (target, app) cell in render order.
+func targetAppPairs() []targetApp {
+	var pairs []targetApp
+	for _, target := range hw.Targets() {
+		for i := 1; i <= 7; i++ {
+			pairs = append(pairs, targetApp{target, i})
+		}
+	}
+	return pairs
+}
 
 // Fig8Row is one (target, application) group of Figure 8.
 type Fig8Row struct {
@@ -32,30 +53,40 @@ func (r Fig8Row) Improvement() float64 {
 // direct deployment, and Kodan for every application on every hardware
 // target.
 func (l *Lab) Figure8() ([]Fig8Row, error) {
-	var rows []Fig8Row
-	for _, target := range hw.Targets() {
-		d, err := l.Deployment(target)
+	return l.Figure8Ctx(context.Background())
+}
+
+// Figure8Ctx is Figure8 with cancellation; the (target, app) sweep runs
+// on the lab's worker pool.
+func (l *Lab) Figure8Ctx(ctx context.Context) ([]Fig8Row, error) {
+	pairs := targetAppPairs()
+	rows := make([]Fig8Row, len(pairs))
+	err := parallel.ForEach(ctx, l.workers(), len(pairs), func(ctx context.Context, k int) error {
+		p := pairs[k]
+		d, err := l.DeploymentCtx(ctx, p.target)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for i := 1; i <= 7; i++ {
-			art, err := l.App(i)
-			if err != nil {
-				return nil, err
-			}
-			direct, _, err := directEstimate(art, d)
-			if err != nil {
-				return nil, err
-			}
-			_, kodan := art.SelectionLogic(d)
-			rows = append(rows, Fig8Row{
-				Target:    target,
-				App:       i,
-				BentDVD:   bentEstimate(art, d).DVD,
-				DirectDVD: direct.DVD,
-				KodanDVD:  kodan.DVD,
-			})
+		art, err := l.AppCtx(ctx, p.app)
+		if err != nil {
+			return err
 		}
+		direct, _, err := directEstimate(art, d)
+		if err != nil {
+			return err
+		}
+		_, kodan := art.SelectionLogic(d)
+		rows[k] = Fig8Row{
+			Target:    p.target,
+			App:       p.app,
+			BentDVD:   bentEstimate(art, d).DVD,
+			DirectDVD: direct.DVD,
+			KodanDVD:  kodan.DVD,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -84,34 +115,44 @@ type Fig9Row struct {
 // Figure9 reproduces Figure 9: time per frame under direct deployment
 // versus Kodan, against the frame deadline.
 func (l *Lab) Figure9() ([]Fig9Row, error) {
-	m, err := l.Mission()
+	return l.Figure9Ctx(context.Background())
+}
+
+// Figure9Ctx is Figure9 with cancellation; the (target, app) sweep runs
+// on the lab's worker pool.
+func (l *Lab) Figure9Ctx(ctx context.Context) ([]Fig9Row, error) {
+	m, err := l.MissionCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig9Row
-	for _, target := range hw.Targets() {
-		d, err := l.Deployment(target)
+	pairs := targetAppPairs()
+	rows := make([]Fig9Row, len(pairs))
+	err = parallel.ForEach(ctx, l.workers(), len(pairs), func(ctx context.Context, k int) error {
+		p := pairs[k]
+		d, err := l.DeploymentCtx(ctx, p.target)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for i := 1; i <= 7; i++ {
-			art, err := l.App(i)
-			if err != nil {
-				return nil, err
-			}
-			direct, _, err := directEstimate(art, d)
-			if err != nil {
-				return nil, err
-			}
-			_, kodan := art.SelectionLogic(d)
-			rows = append(rows, Fig9Row{
-				Target:     target,
-				App:        i,
-				DirectTime: direct.FrameTime,
-				KodanTime:  kodan.FrameTime,
-				Deadline:   m.Deadline,
-			})
+		art, err := l.AppCtx(ctx, p.app)
+		if err != nil {
+			return err
 		}
+		direct, _, err := directEstimate(art, d)
+		if err != nil {
+			return err
+		}
+		_, kodan := art.SelectionLogic(d)
+		rows[k] = Fig9Row{
+			Target:     p.target,
+			App:        p.app,
+			DirectTime: direct.FrameTime,
+			KodanTime:  kodan.FrameTime,
+			Deadline:   m.Deadline,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -148,15 +189,21 @@ type Fig10Point struct {
 // execution time as a free parameter; the points are the measured
 // direct-deploy and Kodan deployments of Apps 1, 4, and 7.
 func (l *Lab) Figure10() ([]Fig10Point, error) {
-	m, err := l.Mission()
+	return l.Figure10Ctx(context.Background())
+}
+
+// Figure10Ctx is Figure10 with cancellation; the curve sweep and the
+// measured deployment points run on the lab's worker pool.
+func (l *Lab) Figure10Ctx(ctx context.Context) ([]Fig10Point, error) {
+	m, err := l.MissionCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	art, err := l.App(4)
+	art, err := l.AppCtx(ctx, 4)
 	if err != nil {
 		return nil, err
 	}
-	d, err := l.Deployment(hw.Orin15W)
+	d, err := l.DeploymentCtx(ctx, hw.Orin15W)
 	if err != nil {
 		return nil, err
 	}
@@ -183,10 +230,11 @@ func (l *Lab) Figure10() ([]Fig10Point, error) {
 		return v
 	}
 
-	var pts []Fig10Point
+	// The free-parameter curve: one policy evaluation per sampled
+	// execution time.
+	var curve []float64
 	for s := 0.0; s <= 320; s += 10 {
-		est := policy.EvaluateAtTime(sel, prof, env, time.Duration(s*float64(time.Second)))
-		pts = append(pts, Fig10Point{Label: "curve", ExecSeconds: s, NormImprovement: norm(est.DVD)})
+		curve = append(curve, s)
 	}
 
 	// Measured deployment points.
@@ -201,14 +249,23 @@ func (l *Lab) Figure10() ([]Fig10Point, error) {
 		{7, hw.Orin15W, false}, {7, hw.Orin15W, true},
 		{1, hw.I7_7800X, false}, {1, hw.GTX1070Ti, false},
 	}
-	for _, c := range cases {
-		a, err := l.App(c.app)
-		if err != nil {
-			return nil, err
+
+	pts := make([]Fig10Point, len(curve)+len(cases))
+	err = parallel.ForEach(ctx, l.workers(), len(pts), func(ctx context.Context, k int) error {
+		if k < len(curve) {
+			s := curve[k]
+			est := policy.EvaluateAtTime(sel, prof, env, time.Duration(s*float64(time.Second)))
+			pts[k] = Fig10Point{Label: "curve", ExecSeconds: s, NormImprovement: norm(est.DVD)}
+			return nil
 		}
-		dep, err := l.Deployment(c.target)
+		c := cases[k-len(curve)]
+		a, err := l.AppCtx(ctx, c.app)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		dep, err := l.DeploymentCtx(ctx, c.target)
+		if err != nil {
+			return err
 		}
 		var est policy.Estimate
 		kind := "Direct Deploy"
@@ -218,14 +275,18 @@ func (l *Lab) Figure10() ([]Fig10Point, error) {
 		} else {
 			est, _, err = directEstimate(a, dep)
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
-		pts = append(pts, Fig10Point{
+		pts[k] = Fig10Point{
 			Label:           fmt.Sprintf("%s %s (%s)", appLabel(c.app), kind, c.target),
 			ExecSeconds:     est.FrameTime.Seconds(),
 			NormImprovement: norm(est.DVD),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	_ = m
 	return pts, nil
@@ -257,29 +318,36 @@ type Fig11Row struct {
 // with prior work's satellite-parallel pipelining. Kodan reaches up to
 // ~12x for the heaviest application.
 func (l *Lab) Figure11() ([]Fig11Row, error) {
-	m, err := l.Mission()
+	return l.Figure11Ctx(context.Background())
+}
+
+// Figure11Ctx is Figure11 with cancellation; the per-app sweep runs on
+// the lab's worker pool.
+func (l *Lab) Figure11Ctx(ctx context.Context) ([]Fig11Row, error) {
+	m, err := l.MissionCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	d, err := l.Deployment(hw.Orin15W)
+	d, err := l.DeploymentCtx(ctx, hw.Orin15W)
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig11Row
-	for i := 1; i <= 7; i++ {
-		art, err := l.App(i)
+	rows := make([]Fig11Row, 7)
+	err = parallel.ForEach(ctx, l.workers(), len(rows), func(ctx context.Context, k int) error {
+		i := k + 1
+		art, err := l.AppCtx(ctx, i)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		direct, _, err := directEstimate(art, d)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Max-precision tiling, still no elision (prior work + best tiling).
 		precTl := precisionTiling(art)
 		prof, err := art.Profile(precTl)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		env := d.Env(art.Arch)
 		env.UseEngine = false
@@ -289,11 +357,15 @@ func (l *Lab) Figure11() ([]Fig11Row, error) {
 		ds := policy.SatellitesForCoverage(direct.FrameTime, m.Deadline)
 		ps := policy.SatellitesForCoverage(prec.FrameTime, m.Deadline)
 		ks := policy.SatellitesForCoverage(kodan.FrameTime, m.Deadline)
-		rows = append(rows, Fig11Row{
+		rows[k] = Fig11Row{
 			App: i, DirectSats: ds, MaxPrecSats: ps, KodanSats: ks,
 			MaxPrecFactor: float64(ds) / float64(ps),
 			KodanFactor:   float64(ds) / float64(ks),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -322,25 +394,36 @@ type Fig12Row struct {
 // Figure12 reproduces Figure 12: geospatial contexts improve accuracy
 // (left) and precision (right) for every application.
 func (l *Lab) Figure12() ([]Fig12Row, error) {
+	return l.Figure12Ctx(context.Background())
+}
+
+// Figure12Ctx is Figure12 with cancellation; the per-app sweep runs on
+// the lab's worker pool.
+func (l *Lab) Figure12Ctx(ctx context.Context) ([]Fig12Row, error) {
 	tl := l.coarsestTiling()
-	var rows []Fig12Row
-	for i := 1; i <= 7; i++ {
-		art, err := l.App(i)
+	rows := make([]Fig12Row, 7)
+	err := parallel.ForEach(ctx, l.workers(), len(rows), func(ctx context.Context, k int) error {
+		i := k + 1
+		art, err := l.AppCtx(ctx, i)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		suite, ok := art.Suites[tl.PerSide]
 		if !ok {
-			return nil, fmt.Errorf("experiments: no suite at %v", tl)
+			return fmt.Errorf("experiments: no suite at %v", tl)
 		}
 		q := suite.Quality
-		rows = append(rows, Fig12Row{
+		rows[k] = Fig12Row{
 			App:         i,
 			AccGeneric:  q.GenericAll.Accuracy(),
 			AccContexts: q.SpecialAll.Accuracy(),
 			PrecGeneric: q.GenericAll.Precision(),
 			PrecContext: q.SpecialAll.Precision(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -386,21 +469,37 @@ type Fig13Row struct {
 // precision. Each application has empirically optimal tilings, and the
 // optima differ between accuracy and precision and across architectures.
 func (l *Lab) Figure13() ([]Fig13Row, error) {
-	var rows []Fig13Row
-	for i := 1; i <= 7; i++ {
-		art, err := l.App(i)
+	return l.Figure13Ctx(context.Background())
+}
+
+// Figure13Ctx is Figure13 with cancellation; the per-app sweep runs on
+// the lab's worker pool. Each app contributes one row per tiling, so the
+// per-app row groups are flattened in app order after the sweep.
+func (l *Lab) Figure13Ctx(ctx context.Context) ([]Fig13Row, error) {
+	groups := make([][]Fig13Row, 7)
+	err := parallel.ForEach(ctx, l.workers(), len(groups), func(ctx context.Context, k int) error {
+		i := k + 1
+		art, err := l.AppCtx(ctx, i)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, tl := range sortedTilings(art) {
 			q := art.Suites[tl.PerSide].Quality
-			rows = append(rows, Fig13Row{
+			groups[k] = append(groups[k], Fig13Row{
 				App:       i,
 				Tiles:     tl.Tiles(),
 				Accuracy:  q.SpecialAll.Accuracy(),
 				Precision: q.SpecialAll.Precision(),
 			})
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig13Row
+	for _, g := range groups {
+		rows = append(rows, g...)
 	}
 	return rows, nil
 }
@@ -429,27 +528,43 @@ type Fig14Row struct {
 // its specialized model). Aggressive tiling wins on constrained targets;
 // precise tiling wins when compute is plentiful.
 func (l *Lab) Figure14() ([]Fig14Row, error) {
-	var rows []Fig14Row
-	for _, target := range hw.Targets() {
-		d, err := l.Deployment(target)
+	return l.Figure14Ctx(context.Background())
+}
+
+// Figure14Ctx is Figure14 with cancellation; the (target, app) sweep runs
+// on the lab's worker pool. Each pair contributes one row per tiling
+// profile, so the per-pair row groups are flattened in render order after
+// the sweep.
+func (l *Lab) Figure14Ctx(ctx context.Context) ([]Fig14Row, error) {
+	pairs := targetAppPairs()
+	groups := make([][]Fig14Row, len(pairs))
+	err := parallel.ForEach(ctx, l.workers(), len(pairs), func(ctx context.Context, k int) error {
+		p := pairs[k]
+		d, err := l.DeploymentCtx(ctx, p.target)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for i := 1; i <= 7; i++ {
-			art, err := l.App(i)
-			if err != nil {
-				return nil, err
-			}
-			env := d.Env(art.Arch)
-			for _, prof := range art.Profiles {
-				sel := policy.Selection{Tiling: prof.Tiling, Actions: make([]policy.Action, len(prof.Contexts))}
-				for c := range sel.Actions {
-					sel.Actions[c] = policy.Specialized
-				}
-				est := policy.Evaluate(sel, prof, env)
-				rows = append(rows, Fig14Row{Target: target, App: i, Tiles: prof.Tiling.Tiles(), DVD: est.DVD})
-			}
+		art, err := l.AppCtx(ctx, p.app)
+		if err != nil {
+			return err
 		}
+		env := d.Env(art.Arch)
+		for _, prof := range art.Profiles {
+			sel := policy.Selection{Tiling: prof.Tiling, Actions: make([]policy.Action, len(prof.Contexts))}
+			for c := range sel.Actions {
+				sel.Actions[c] = policy.Specialized
+			}
+			est := policy.Evaluate(sel, prof, env)
+			groups[k] = append(groups[k], Fig14Row{Target: p.target, App: p.app, Tiles: prof.Tiling.Tiles(), DVD: est.DVD})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig14Row
+	for _, g := range groups {
+		rows = append(rows, g...)
 	}
 	return rows, nil
 }
@@ -478,28 +593,38 @@ type Fig15Row struct {
 // contexts) against plain direct deployment. The benefit is largest under
 // the deepest computational bottleneck.
 func (l *Lab) Figure15() ([]Fig15Row, error) {
-	var rows []Fig15Row
-	for _, target := range hw.Targets() {
-		d, err := l.Deployment(target)
+	return l.Figure15Ctx(context.Background())
+}
+
+// Figure15Ctx is Figure15 with cancellation; the (target, app) sweep —
+// each cell an exhaustive elision search — runs on the lab's worker pool.
+func (l *Lab) Figure15Ctx(ctx context.Context) ([]Fig15Row, error) {
+	pairs := targetAppPairs()
+	rows := make([]Fig15Row, len(pairs))
+	err := parallel.ForEach(ctx, l.workers(), len(pairs), func(ctx context.Context, k int) error {
+		p := pairs[k]
+		d, err := l.DeploymentCtx(ctx, p.target)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for i := 1; i <= 7; i++ {
-			art, err := l.App(i)
-			if err != nil {
-				return nil, err
-			}
-			direct, tl, err := directEstimate(art, d)
-			if err != nil {
-				return nil, err
-			}
-			prof, err := art.Profile(tl)
-			if err != nil {
-				return nil, err
-			}
-			est := bestElisionOverGeneric(prof, d.Env(art.Arch))
-			rows = append(rows, Fig15Row{Target: target, App: i, DirectDVD: direct.DVD, ElisionDVD: est.DVD})
+		art, err := l.AppCtx(ctx, p.app)
+		if err != nil {
+			return err
 		}
+		direct, tl, err := directEstimate(art, d)
+		if err != nil {
+			return err
+		}
+		prof, err := art.Profile(tl)
+		if err != nil {
+			return err
+		}
+		est := bestElisionOverGeneric(prof, d.Env(art.Arch))
+		rows[k] = Fig15Row{Target: p.target, App: p.app, DirectDVD: direct.DVD, ElisionDVD: est.DVD}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -8,12 +8,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"kodan/internal/app"
 	"kodan/internal/core"
 	"kodan/internal/hw"
+	"kodan/internal/parallel"
 	"kodan/internal/policy"
 	"kodan/internal/sim"
 	"kodan/internal/tiling"
@@ -31,7 +34,13 @@ const (
 	Full
 )
 
-// Lab holds memoized experiment state.
+// Lab holds memoized experiment state. A Lab is safe for concurrent use:
+// the figure sweeps fan out over the parallel engine, and the memoized
+// shared state (workspace, per-app artifacts, day-long simulations) is
+// single-flight — concurrent callers of the same entry block on one
+// computation and share its result. Because every stochastic stage draws
+// from per-item xrand streams, figure output is bit-identical at every
+// Workers setting; the golden-determinism tests enforce this.
 type Lab struct {
 	// Seed drives all stochastic stages.
 	Seed uint64
@@ -39,22 +48,56 @@ type Lab struct {
 	Epoch time.Time
 	// Size selects Quick or Full sizing.
 	Size Size
+	// Workers bounds the parallelism of the figure sweeps and the
+	// constellation simulations: 0 uses GOMAXPROCS, 1 forces the
+	// sequential path. Any value yields byte-identical figures.
+	Workers int
 
-	ws       *core.Workspace
-	apps     map[int]*core.Artifacts
-	mission  *missionProfile
-	capacity map[int]*sim.Result // per satellite count, one day
+	mu       sync.Mutex
+	ws       memo[*core.Workspace]
+	apps     map[int]*memo[*core.Artifacts]
+	mission  memo[missionProfile]
+	capacity map[int]*memo[*sim.Result] // per satellite count, one day
+}
+
+// memo is a single-flight memo cell: the first caller computes while
+// later callers block, then every caller shares the cached value. Errors
+// are not cached — the next caller retries.
+type memo[T any] struct {
+	mu   sync.Mutex
+	done bool
+	val  T
+}
+
+// do returns the memoized value, computing it with f if needed.
+func (m *memo[T]) do(f func() (T, error)) (T, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return m.val, nil
+	}
+	v, err := f()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	m.val, m.done = v, true
+	return v, nil
 }
 
 // NewLab returns a lab with the reproduction's reference seed and epoch.
 func NewLab(size Size) *Lab {
 	return &Lab{
-		Seed:  2023,
-		Epoch: time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC),
-		Size:  size,
-		apps:  make(map[int]*core.Artifacts),
+		Seed:     2023,
+		Epoch:    time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC),
+		Size:     size,
+		apps:     make(map[int]*memo[*core.Artifacts]),
+		capacity: make(map[int]*memo[*sim.Result]),
 	}
 }
+
+// workers resolves the lab's worker knob.
+func (l *Lab) workers() int { return parallel.Workers(l.Workers) }
 
 // transformConfig returns the lab's transformation sizing.
 func (l *Lab) transformConfig() core.Config {
@@ -80,31 +123,43 @@ func (l *Lab) SatCounts() []int {
 
 // Workspace returns the memoized transformation workspace.
 func (l *Lab) Workspace() (*core.Workspace, error) {
-	if l.ws == nil {
-		ws, err := core.NewWorkspace(l.transformConfig())
-		if err != nil {
-			return nil, err
-		}
-		l.ws = ws
-	}
-	return l.ws, nil
+	return l.WorkspaceCtx(context.Background())
+}
+
+// WorkspaceCtx returns the memoized transformation workspace, building it
+// under ctx on first use.
+func (l *Lab) WorkspaceCtx(ctx context.Context) (*core.Workspace, error) {
+	return l.ws.do(func() (*core.Workspace, error) {
+		return core.NewWorkspaceCtx(ctx, l.transformConfig())
+	})
 }
 
 // App returns the memoized artifacts of one application.
 func (l *Lab) App(index int) (*core.Artifacts, error) {
-	if art, ok := l.apps[index]; ok {
-		return art, nil
+	return l.AppCtx(context.Background(), index)
+}
+
+// AppCtx returns the memoized artifacts of one application, transforming
+// it under ctx on first use. Concurrent calls for the same index share
+// one transformation.
+func (l *Lab) AppCtx(ctx context.Context, index int) (*core.Artifacts, error) {
+	l.mu.Lock()
+	if l.apps == nil {
+		l.apps = make(map[int]*memo[*core.Artifacts])
 	}
-	ws, err := l.Workspace()
-	if err != nil {
-		return nil, err
+	m, ok := l.apps[index]
+	if !ok {
+		m = &memo[*core.Artifacts]{}
+		l.apps[index] = m
 	}
-	art, err := ws.TransformApp(app.App(index))
-	if err != nil {
-		return nil, err
-	}
-	l.apps[index] = art
-	return art, nil
+	l.mu.Unlock()
+	return m.do(func() (*core.Artifacts, error) {
+		ws, err := l.WorkspaceCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return ws.TransformAppCtx(ctx, app.App(index))
+	})
 }
 
 // missionProfile is the single-satellite Landsat day.
@@ -117,42 +172,56 @@ type missionProfile struct {
 
 // Mission returns the memoized single-satellite mission profile.
 func (l *Lab) Mission() (missionProfile, error) {
-	if l.mission == nil {
-		res, err := l.dayRun(1)
+	return l.MissionCtx(context.Background())
+}
+
+// MissionCtx returns the memoized single-satellite mission profile,
+// simulating it under ctx on first use.
+func (l *Lab) MissionCtx(ctx context.Context) (missionProfile, error) {
+	return l.mission.do(func() (missionProfile, error) {
+		res, err := l.dayRun(ctx, 1)
 		if err != nil {
 			return missionProfile{}, err
 		}
 		obs := float64(res.FramesObserved())
-		l.mission = &missionProfile{
+		return missionProfile{
 			Deadline:     res.Config.Grid.FramePeriod(res.Config.BaseOrbit),
 			FramesPerDay: obs,
 			CapacityFrac: res.FrameCapacity() / obs,
 			FrameBits:    res.Config.Camera.FrameBits(),
-		}
-	}
-	return *l.mission, nil
+		}, nil
+	})
 }
 
 // dayRun returns the memoized one-day simulation at a satellite count.
-func (l *Lab) dayRun(sats int) (*sim.Result, error) {
+func (l *Lab) dayRun(ctx context.Context, sats int) (*sim.Result, error) {
+	l.mu.Lock()
 	if l.capacity == nil {
-		l.capacity = make(map[int]*sim.Result)
+		l.capacity = make(map[int]*memo[*sim.Result])
 	}
-	if res, ok := l.capacity[sats]; ok {
-		return res, nil
+	m, ok := l.capacity[sats]
+	if !ok {
+		m = &memo[*sim.Result]{}
+		l.capacity[sats] = m
 	}
-	res, err := sim.Run(sim.Landsat8Config(l.Epoch, 24*time.Hour, sats))
-	if err != nil {
-		return nil, err
-	}
-	l.capacity[sats] = res
-	return res, nil
+	l.mu.Unlock()
+	return m.do(func() (*sim.Result, error) {
+		cfg := sim.Landsat8Config(l.Epoch, 24*time.Hour, sats)
+		cfg.Workers = l.Workers
+		return sim.RunCtx(ctx, cfg)
+	})
 }
 
 // Deployment builds the policy environment of a hardware target on the
 // reference mission.
 func (l *Lab) Deployment(t hw.Target) (core.Deployment, error) {
-	m, err := l.Mission()
+	return l.DeploymentCtx(context.Background(), t)
+}
+
+// DeploymentCtx builds the policy environment of a hardware target on the
+// reference mission, simulating the mission under ctx on first use.
+func (l *Lab) DeploymentCtx(ctx context.Context, t hw.Target) (core.Deployment, error) {
+	m, err := l.MissionCtx(ctx)
 	if err != nil {
 		return core.Deployment{}, err
 	}

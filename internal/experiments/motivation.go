@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"kodan/internal/app"
 	"kodan/internal/hw"
+	"kodan/internal/parallel"
 	"kodan/internal/sense"
 	"kodan/internal/sim"
 	"kodan/internal/value"
@@ -62,22 +64,34 @@ type Fig2Row struct {
 // downlink covers ~2% of its observations; added satellites first claim
 // idle ground-station time, then saturate the segment.
 func (l *Lab) Figure2(satCounts []int) ([]Fig2Row, error) {
-	var rows []Fig2Row
-	for _, n := range satCounts {
+	return l.Figure2Ctx(context.Background(), satCounts)
+}
+
+// Figure2Ctx is Figure2 with cancellation; the satellite-count sweep runs
+// on the lab's worker pool.
+func (l *Lab) Figure2Ctx(ctx context.Context, satCounts []int) ([]Fig2Row, error) {
+	rows := make([]Fig2Row, len(satCounts))
+	err := parallel.ForEach(ctx, l.workers(), len(satCounts), func(ctx context.Context, i int) error {
+		n := satCounts[i]
 		cfg := sim.Landsat8Config(l.Epoch, 99*time.Minute, n)
 		cfg.Camera = sense.Landsat8Hyper()
-		res, err := sim.Run(cfg)
+		cfg.Workers = l.Workers
+		res, err := sim.RunCtx(ctx, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		seen := res.FramesObserved()
 		down := res.FrameCapacity()
-		rows = append(rows, Fig2Row{
+		rows[i] = Fig2Row{
 			Sats:       n,
 			FramesSeen: seen,
 			FramesDown: down,
 			DownFrac:   down / float64(seen),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -104,23 +118,36 @@ type Fig3Row struct {
 // versus satellite count. Daily global coverage (the full 57,784-scene
 // WRS-2 grid) requires tens of satellites.
 func (l *Lab) Figure3(satCounts []int) ([]Fig3Row, error) {
+	return l.Figure3Ctx(context.Background(), satCounts)
+}
+
+// Figure3Ctx is Figure3 with cancellation; the satellite-count sweep runs
+// on the lab's worker pool.
+func (l *Lab) Figure3Ctx(ctx context.Context, satCounts []int) ([]Fig3Row, error) {
 	total := wrs.Landsat8Grid().TotalScenes()
-	var rows []Fig3Row
-	for _, n := range satCounts {
+	rows := make([]Fig3Row, len(satCounts))
+	err := parallel.ForEach(ctx, l.workers(), len(satCounts), func(ctx context.Context, i int) error {
+		n := satCounts[i]
 		// Uncoordinated phasing: independently-operated satellites do not
 		// phase-lock to the reference grid, so coverage accumulates with
 		// coupon-collector statistics (an ideally phased constellation
 		// reaches full daily coverage with just 16 satellites; see
-		// EXPERIMENTS.md).
+		// EXPERIMENTS.md). The phases are drawn from a seeded stream
+		// before any fan-out, so they are identical at every worker count.
 		cfg := sim.Landsat8Config(l.Epoch, 24*time.Hour, n)
 		cfg.RandomPhases = true
 		cfg.PhaseSeed = l.Seed
-		res, err := sim.Run(cfg)
+		cfg.Workers = l.Workers
+		res, err := sim.RunCtx(ctx, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		u := res.UniqueScenes()
-		rows = append(rows, Fig3Row{Sats: n, UniqueScenes: u, CoverageFrac: float64(u) / float64(total)})
+		rows[i] = Fig3Row{Sats: n, UniqueScenes: u, CoverageFrac: float64(u) / float64(total)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -153,7 +180,12 @@ type Fig4Row struct {
 // accuracy, zero execution time). Ideal filtering downlinks ~3x the
 // high-value frames of the bent pipe.
 func (l *Lab) Figure4() ([]Fig4Row, error) {
-	m, err := l.Mission()
+	return l.Figure4Ctx(context.Background())
+}
+
+// Figure4Ctx is Figure4 with cancellation.
+func (l *Lab) Figure4Ctx(ctx context.Context) ([]Fig4Row, error) {
+	m, err := l.MissionCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -211,17 +243,25 @@ type Fig5Row struct {
 // raw exactly as a bent pipe would send them — so the downlink mix is only
 // slightly enriched and the improvement is ~9-16% instead of the ideal 3x.
 func (l *Lab) Figure5(satCounts []int) ([]Fig5Row, error) {
-	m, err := l.Mission()
+	return l.Figure5Ctx(context.Background(), satCounts)
+}
+
+// Figure5Ctx is Figure5 with cancellation; the satellite-count sweep runs
+// on the lab's worker pool (concurrent day-long simulations are
+// single-flight per count and shared with every other figure).
+func (l *Lab) Figure5Ctx(ctx context.Context, satCounts []int) ([]Fig5Row, error) {
+	m, err := l.MissionCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
 	processedFrac := float64(m.Deadline) / float64(azaveaFrameTime)
 	hvFrac := 1 - cloudyPrevalence
-	var rows []Fig5Row
-	for _, n := range satCounts {
-		res, err := l.dayRun(n)
+	rows := make([]Fig5Row, len(satCounts))
+	err = parallel.ForEach(ctx, l.workers(), len(satCounts), func(ctx context.Context, i int) error {
+		n := satCounts[i]
+		res, err := l.dayRun(ctx, n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		observed := float64(res.FramesObserved())
 		capacity := res.FrameCapacity()
@@ -246,11 +286,15 @@ func (l *Lab) Figure5(satCounts []int) ([]Fig5Row, error) {
 			{Bits: raw, ValueBits: raw * hvFrac},
 		}, capacity)
 
-		rows = append(rows, Fig5Row{
+		rows[i] = Fig5Row{
 			Sats:      n,
 			BentPct:   100 * bentHigh / hvObserved,
 			DirectPct: 100 * directHigh / hvObserved,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

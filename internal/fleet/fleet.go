@@ -19,11 +19,13 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"kodan/internal/app"
 	"kodan/internal/hw"
+	"kodan/internal/parallel"
 	"kodan/internal/policy"
 )
 
@@ -48,6 +50,11 @@ type Config struct {
 	// Kodan selects per-app selection logics; false runs each app's
 	// reference model directly (prior work).
 	Kodan bool
+	// Workers bounds the parallelism of the per-application policy
+	// evaluations: 0 uses GOMAXPROCS, 1 forces the sequential path.
+	// Reports are identical at every worker count — each application's
+	// value is independent and written back by application index.
+	Workers int
 }
 
 // validate rejects unusable configurations.
@@ -113,28 +120,34 @@ func perSatValue(spec AppSpec, cfg Config, deadline time.Duration) float64 {
 // as evenly as possible among applications (earlier applications get the
 // remainder).
 func Dedicated(specs []AppSpec, cfg Config) (Report, error) {
+	return DedicatedCtx(context.Background(), specs, cfg)
+}
+
+// DedicatedCtx is Dedicated with cancellation; the per-application policy
+// evaluations run on cfg.Workers goroutines.
+func DedicatedCtx(ctx context.Context, specs []AppSpec, cfg Config) (Report, error) {
 	if err := cfg.validate(len(specs)); err != nil {
 		return Report{}, err
 	}
-	rep := Report{Strategy: "dedicated"}
 	base := cfg.Sats / len(specs)
 	extra := cfg.Sats % len(specs)
-	for i, spec := range specs {
+	vals := make([]AppValue, len(specs))
+	err := parallel.ForEach(ctx, parallel.Workers(cfg.Workers), len(specs), func(_ context.Context, i int) error {
 		n := base
 		if i < extra {
 			n++
 		}
 		v := 0.0
 		if n > 0 {
-			v = float64(n) * perSatValue(spec, cfg, cfg.Deadline)
+			v = float64(n) * perSatValue(specs[i], cfg, cfg.Deadline)
 		}
-		rep.PerApp = append(rep.PerApp, AppValue{App: spec.Arch.Index, ValueRate: v, Satellites: n})
-		rep.TotalValueRate += v
-		if v > 0 {
-			rep.AppsServed++
-		}
+		vals[i] = AppValue{App: specs[i].Arch.Index, ValueRate: v, Satellites: n}
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
 	}
-	return rep, nil
+	return assemble("dedicated", vals), nil
 }
 
 // Shared evaluates the platform strategy: every satellite frame-interleaves
@@ -142,21 +155,38 @@ func Dedicated(specs []AppSpec, cfg Config) (Report, error) {
 // longer effective deadline, and the per-satellite downlink is shared in
 // the same proportion.
 func Shared(specs []AppSpec, cfg Config) (Report, error) {
+	return SharedCtx(context.Background(), specs, cfg)
+}
+
+// SharedCtx is Shared with cancellation; the per-application policy
+// evaluations run on cfg.Workers goroutines.
+func SharedCtx(ctx context.Context, specs []AppSpec, cfg Config) (Report, error) {
 	if err := cfg.validate(len(specs)); err != nil {
 		return Report{}, err
 	}
 	a := len(specs)
-	rep := Report{Strategy: "shared"}
-	for _, spec := range specs {
-		per := perSatValue(spec, cfg, time.Duration(a)*cfg.Deadline) / float64(a)
-		v := float64(cfg.Sats) * per
-		rep.PerApp = append(rep.PerApp, AppValue{App: spec.Arch.Index, ValueRate: v, Satellites: cfg.Sats})
-		rep.TotalValueRate += v
-		if v > 0 {
+	vals := make([]AppValue, len(specs))
+	err := parallel.ForEach(ctx, parallel.Workers(cfg.Workers), len(specs), func(_ context.Context, i int) error {
+		per := perSatValue(specs[i], cfg, time.Duration(a)*cfg.Deadline) / float64(a)
+		vals[i] = AppValue{App: specs[i].Arch.Index, ValueRate: float64(cfg.Sats) * per, Satellites: cfg.Sats}
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	return assemble("shared", vals), nil
+}
+
+// assemble folds per-app values into a report, in application order.
+func assemble(strategy string, vals []AppValue) Report {
+	rep := Report{Strategy: strategy, PerApp: vals}
+	for _, v := range vals {
+		rep.TotalValueRate += v.ValueRate
+		if v.ValueRate > 0 {
 			rep.AppsServed++
 		}
 	}
-	return rep, nil
+	return rep
 }
 
 // Efficiency returns the shared strategy's total value as a fraction of the

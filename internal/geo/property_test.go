@@ -1,0 +1,158 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"kodan/internal/xrand"
+)
+
+// propertyDraws is the per-seed sample count of the randomized checks.
+const propertyDraws = 500
+
+var geoSeeds = []uint64{1, 2, 3, 5, 8, 13, 21, 2023}
+
+// TestWrapRanges checks the angle wrappers' codomains over random inputs
+// spanning many revolutions in both directions.
+func TestWrapRanges(t *testing.T) {
+	for _, seed := range geoSeeds {
+		rng := xrand.New(seed)
+		for i := 0; i < propertyDraws; i++ {
+			a := rng.Range(-100, 100)
+			if w := WrapTwoPi(a); w < 0 || w >= 2*math.Pi {
+				t.Fatalf("WrapTwoPi(%.6f) = %.6f outside [0, 2pi)", a, w)
+			}
+			if w := WrapPi(a); w <= -math.Pi || w > math.Pi {
+				t.Fatalf("WrapPi(%.6f) = %.6f outside (-pi, pi]", a, w)
+			}
+			// Wrapping preserves the angle modulo a full turn.
+			if d := math.Mod(WrapTwoPi(a)-a, 2*math.Pi); math.Abs(WrapPi(d)) > 1e-9 {
+				t.Fatalf("WrapTwoPi(%.6f) changed the angle by %.2e", a, d)
+			}
+		}
+	}
+}
+
+// TestGeodeticECEFRoundTripProperty checks that GeodeticToECEF and ECEFToGeodetic
+// are inverses over random positions from the surface up through LEO.
+func TestGeodeticECEFRoundTripProperty(t *testing.T) {
+	for _, seed := range geoSeeds {
+		rng := xrand.New(seed)
+		for i := 0; i < propertyDraws; i++ {
+			g := Geodetic{
+				LatDeg: rng.Range(-89.9, 89.9),
+				LonDeg: rng.Range(-179.9, 180),
+				AltM:   rng.Range(0, 1000e3),
+			}
+			back := ECEFToGeodetic(GeodeticToECEF(g))
+			if math.Abs(back.LatDeg-g.LatDeg) > 1e-9 {
+				t.Fatalf("latitude %.9f -> %.9f", g.LatDeg, back.LatDeg)
+			}
+			if math.Abs(back.LonDeg-g.LonDeg) > 1e-9 {
+				t.Fatalf("longitude %.9f -> %.9f", g.LonDeg, back.LonDeg)
+			}
+			if math.Abs(back.AltM-g.AltM) > 1e-2 {
+				t.Fatalf("altitude %.4f -> %.4f", g.AltM, back.AltM)
+			}
+		}
+	}
+}
+
+// TestECEFToGeodeticRanges checks the conversion's codomain for arbitrary
+// positions, including ones far from the ellipsoid.
+func TestECEFToGeodeticRanges(t *testing.T) {
+	for _, seed := range geoSeeds {
+		rng := xrand.New(seed)
+		for i := 0; i < propertyDraws; i++ {
+			p := Vec3{
+				X: rng.Range(-1e7, 1e7),
+				Y: rng.Range(-1e7, 1e7),
+				Z: rng.Range(-1e7, 1e7),
+			}
+			g := ECEFToGeodetic(p)
+			if g.LatDeg < -90 || g.LatDeg > 90 {
+				t.Fatalf("ECEFToGeodetic(%v): latitude %.4f", p, g.LatDeg)
+			}
+			if g.LonDeg <= -180 || g.LonDeg > 180 {
+				t.Fatalf("ECEFToGeodetic(%v): longitude %.4f", p, g.LonDeg)
+			}
+		}
+	}
+}
+
+// TestECIECEFRoundTripProperty checks the frame rotations are inverse isometries at
+// random times across several decades.
+func TestECIECEFRoundTripProperty(t *testing.T) {
+	base := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	for _, seed := range geoSeeds {
+		rng := xrand.New(seed)
+		for i := 0; i < propertyDraws; i++ {
+			at := base.Add(time.Duration(rng.Range(0, 40*365*24)) * time.Hour)
+			p := Vec3{
+				X: rng.Range(-1e7, 1e7),
+				Y: rng.Range(-1e7, 1e7),
+				Z: rng.Range(-1e7, 1e7),
+			}
+			back := ECEFToECI(ECIToECEF(p, at), at)
+			if back.Sub(p).Norm() > 1e-6*p.Norm()+1e-6 {
+				t.Fatalf("at %v: %v -> %v", at, p, back)
+			}
+			// The rotation preserves length and the polar component.
+			rot := ECIToECEF(p, at)
+			if math.Abs(rot.Norm()-p.Norm()) > 1e-6*p.Norm() {
+				t.Fatalf("rotation changed length: %.6f -> %.6f", p.Norm(), rot.Norm())
+			}
+			if rot.Z != p.Z {
+				t.Fatalf("rotation moved the polar component")
+			}
+		}
+	}
+}
+
+// TestGreatCircleDistanceMetric checks the distance's metric-like
+// properties: symmetry, identity, and the antipodal upper bound.
+func TestGreatCircleDistanceMetric(t *testing.T) {
+	maxDist := math.Pi * EarthRadius
+	for _, seed := range geoSeeds {
+		rng := xrand.New(seed)
+		for i := 0; i < propertyDraws; i++ {
+			a := Geodetic{LatDeg: rng.Range(-90, 90), LonDeg: rng.Range(-179.9, 180)}
+			b := Geodetic{LatDeg: rng.Range(-90, 90), LonDeg: rng.Range(-179.9, 180)}
+			ab, ba := GreatCircleDistance(a, b), GreatCircleDistance(b, a)
+			if ab != ba {
+				t.Fatalf("asymmetric: %.6f vs %.6f", ab, ba)
+			}
+			if ab < 0 || ab > maxDist+1e-6 {
+				t.Fatalf("distance %.0f outside [0, pi*R]", ab)
+			}
+			if self := GreatCircleDistance(a, a); self != 0 {
+				t.Fatalf("nonzero self-distance %.9f", self)
+			}
+		}
+	}
+}
+
+// TestElevationAngleRange checks the elevation codomain and its sign
+// convention: a target straight above the observer is at +90 degrees.
+func TestElevationAngleRange(t *testing.T) {
+	for _, seed := range geoSeeds {
+		rng := xrand.New(seed)
+		for i := 0; i < propertyDraws; i++ {
+			obs := GeodeticToECEF(Geodetic{LatDeg: rng.Range(-89, 89), LonDeg: rng.Range(-179.9, 180)})
+			target := Vec3{
+				X: rng.Range(-1e7, 1e7),
+				Y: rng.Range(-1e7, 1e7),
+				Z: rng.Range(-1e7, 1e7),
+			}
+			el := ElevationAngle(obs, target)
+			if el < -math.Pi/2 || el > math.Pi/2 {
+				t.Fatalf("elevation %.6f outside [-pi/2, pi/2]", el)
+			}
+			// Scaling the observer's own direction puts the target at zenith.
+			if up := ElevationAngle(obs, obs.Scale(2)); math.Abs(up-math.Pi/2) > 1e-6 {
+				t.Fatalf("zenith elevation = %.6f", up)
+			}
+		}
+	}
+}

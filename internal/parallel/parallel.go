@@ -1,0 +1,112 @@
+// Package parallel is the evaluation engine's deterministic fan-out
+// primitive. Every hot sweep in the reproduction — per-satellite
+// propagation and contact search in sim, the per-figure sweeps in
+// experiments, the per-application fleet schedules — is a loop over
+// independent items whose results are written back by index. ForEach runs
+// such a loop on a bounded worker pool while guaranteeing that the
+// observable output is identical to the sequential loop: item i's result
+// depends only on item i (callers derive any randomness from a pure
+// per-item seed, see xrand), and results land in caller-owned slots
+// indexed by i, so scheduling order can never reorder, duplicate, or drop
+// a row. That invariant is what lets the golden-determinism tests assert
+// byte-identical tables, CSV, and JSON at any worker count.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n > 0 is used as given, anything
+// else falls back to GOMAXPROCS. The zero value of a config field
+// therefore means "use all the hardware" while 1 forces the sequential
+// path.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines and returns the first error by item index (not by completion
+// time), so the reported error is the same one the sequential loop would
+// have surfaced. A fn error or ctx cancellation stops the launch of new
+// items; items already running complete. workers <= 1 runs the loop
+// inline on the calling goroutine.
+//
+// fn must confine its writes to caller-owned, per-index state (out[i] = ...)
+// and must not depend on any cross-item mutable state; under that
+// contract the results are bit-identical at every worker count.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+// firstError picks the error the sequential loop would have returned: the
+// lowest-index fn failure. Context errors only win when no fn failed —
+// they mark items abandoned because of a later (higher-index) failure or
+// an outside cancellation.
+func firstError(errs []error) error {
+	var ctxErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if err == context.Canceled || err == context.DeadlineExceeded {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return err
+	}
+	return ctxErr
+}

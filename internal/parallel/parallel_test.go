@@ -1,0 +1,183 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := Workers(0), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers(0) = %d, want %d", got, want)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d, want 7", got)
+	}
+}
+
+// TestForEachMatchesSequential is the engine's core contract: the output
+// slice is identical to the sequential loop at every worker count.
+func TestForEachMatchesSequential(t *testing.T) {
+	const n = 257
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 2, 3, 4, 8, 33, n + 5} {
+		got := make([]int, n)
+		err := ForEach(context.Background(), workers, n, func(_ context.Context, i int) error {
+			got[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestForEachRunsEveryItemExactlyOnce guards against dropped or duplicated
+// indices under contention.
+func TestForEachRunsEveryItemExactlyOnce(t *testing.T) {
+	const n = 1000
+	counts := make([]atomic.Int32, n)
+	if err := ForEach(context.Background(), 16, n, func(_ context.Context, i int) error {
+		counts[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("item %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	if err := ForEach(context.Background(), workers, 64, func(_ context.Context, _ int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+// TestForEachFirstErrorByIndex asserts the parallel error matches the
+// sequential loop's: lowest failing index wins regardless of completion
+// order.
+func TestForEachFirstErrorByIndex(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), workers, 32, func(_ context.Context, i int) error {
+			switch i {
+			case 3:
+				// Fail late so a higher index can fail first in real time.
+				time.Sleep(20 * time.Millisecond)
+				return errLow
+			case 20:
+				return errHigh
+			}
+			return nil
+		})
+		// Sequential stops at index 3 and never reaches 20; parallel may
+		// see both but must still report the lowest index.
+		if workers == 1 {
+			if !errors.Is(err, errLow) {
+				t.Fatalf("workers=1: err = %v, want %v", err, errLow)
+			}
+			continue
+		}
+		if !errors.Is(err, errLow) && !errors.Is(err, errHigh) {
+			t.Fatalf("workers=%d: err = %v, want a fn error", workers, err)
+		}
+		if errors.Is(err, errHigh) {
+			t.Fatalf("workers=%d: reported higher-index error before lower", workers)
+		}
+	}
+}
+
+func TestForEachErrorStopsLaunchingItems(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(context.Background(), 2, 10_000, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if r := ran.Load(); r == 10_000 {
+		t.Fatal("error did not stop the sweep")
+	}
+}
+
+func TestForEachHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEach(ctx, workers, 100, func(_ context.Context, _ int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestForEachMidFlightCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	err := ForEach(ctx, 2, 10_000, func(_ context.Context, _ int) error {
+		once.Do(func() { close(started); cancel() })
+		return nil
+	})
+	<-started
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	if err := ForEach(context.Background(), 4, 0, func(_ context.Context, _ int) error {
+		called = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}

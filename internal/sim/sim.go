@@ -8,12 +8,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"kodan/internal/link"
 	"kodan/internal/orbit"
+	"kodan/internal/parallel"
 	"kodan/internal/sense"
 	"kodan/internal/station"
 	"kodan/internal/wrs"
@@ -53,6 +55,13 @@ type Config struct {
 	ScanStep time.Duration
 	// Quantum is the station-time allocation granularity (default 10 s).
 	Quantum time.Duration
+	// Workers bounds the parallelism of the per-satellite capture
+	// schedules and the per-(station, satellite) contact-window search:
+	// 0 uses GOMAXPROCS, 1 forces the sequential path. Results are
+	// bit-identical at every worker count — each satellite's schedule is
+	// a pure function of its own elements, and results are written back
+	// by satellite index.
+	Workers int
 }
 
 // withDefaults fills unset tunables.
@@ -116,8 +125,15 @@ type Result struct {
 	Served []time.Duration
 }
 
-// Run executes the simulation.
+// Run executes the simulation with background context.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx executes the simulation. The per-satellite propagation and
+// contact-window loops run on cfg.Workers goroutines; ctx cancellation
+// aborts the remaining satellites and returns ctx's error.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -144,28 +160,40 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Config: cfg, Orbits: sats}
+	workers := parallel.Workers(cfg.Workers)
 
-	// Capture schedules.
+	// Capture schedules: one independent propagation per satellite.
 	res.Captures = make([][]sense.Capture, len(sats))
-	for i, e := range sats {
-		im, err := sense.NewImager(cfg.Camera, e, cfg.Grid)
+	err := parallel.ForEach(ctx, workers, len(sats), func(_ context.Context, i int) error {
+		im, err := sense.NewImager(cfg.Camera, sats[i], cfg.Grid)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		caps := im.Captures(cfg.Epoch, cfg.Span)
 		for j := range caps {
 			caps[j].Sat = i
 		}
 		res.Captures[i] = caps
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	// Contact windows and contention-resolved allocation.
+	// Contact windows: every (station, satellite) pair is an independent
+	// scan, flattened into one sweep. The contention-resolving allocation
+	// below stays sequential — grants depend on the whole window set.
 	windows := make([][][]station.Window, len(cfg.Stations))
-	for si, st := range cfg.Stations {
+	for si := range cfg.Stations {
 		windows[si] = make([][]station.Window, len(sats))
-		for j, e := range sats {
-			windows[si][j] = station.ContactWindows(st, e, cfg.Epoch, cfg.Span, cfg.ScanStep)
-		}
+	}
+	err = parallel.ForEach(ctx, workers, len(cfg.Stations)*len(sats), func(_ context.Context, k int) error {
+		si, j := k/len(sats), k%len(sats)
+		windows[si][j] = station.ContactWindows(cfg.Stations[si], sats[j], cfg.Epoch, cfg.Span, cfg.ScanStep)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Grants = link.Allocate(link.Problem{
 		Start:   cfg.Epoch,

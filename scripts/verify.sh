@@ -23,4 +23,9 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Shuffled run: catches inter-test ordering dependencies that a fixed
+# order hides. A fixed seed keeps failures reproducible.
+echo "==> go test -shuffle=1 ./..."
+go test -shuffle=1 ./...
+
 echo "verify: OK"
