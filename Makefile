@@ -2,7 +2,7 @@ GO ?= go
 SIZE ?= full
 PARALLEL ?= 0
 
-.PHONY: build test race verify bench fmt
+.PHONY: build test race verify bench fmt fmtcheck vet trace
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,29 @@ test:
 race:
 	$(GO) test -race ./...
 
+# fmtcheck and vet are the static halves of the verify gate, runnable
+# standalone (CI can fail fast on them before spending time on -race).
+fmtcheck:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
 # verify is the full gate: gofmt, vet, build, and tests under -race.
 verify:
 	sh scripts/verify.sh
+
+# trace runs the quick benchmark suite with span tracing and drops the
+# JSONL trace plus pprof profiles in ./trace-out.
+trace:
+	mkdir -p trace-out
+	$(GO) run ./cmd/kodan-bench -size quick -parallel $(PARALLEL) \
+		-trace trace-out/bench.trace.jsonl \
+		-cpuprofile trace-out/bench.cpu.pprof \
+		-memprofile trace-out/bench.mem.pprof
 
 # bench runs the Go micro/figure benchmarks, then regenerates every
 # BENCH_*.json artifact by running the full figure suite through

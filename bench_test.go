@@ -17,6 +17,7 @@ package kodan
 // numeric record.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -33,6 +34,7 @@ import (
 	"kodan/internal/policy"
 	"kodan/internal/sim"
 	"kodan/internal/station"
+	"kodan/internal/telemetry"
 	"kodan/internal/tiling"
 	"kodan/internal/value"
 	"kodan/internal/xrand"
@@ -417,6 +419,43 @@ func BenchmarkFigure10Workers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTelemetryOverhead measures the constellation simulation with
+// telemetry disabled — the default nil probe, where every instrumentation
+// point is a nil-check no-op — against runs with a live metrics registry
+// and with metrics plus span tracing. The "off" case is what every
+// ordinary figure run pays and must stay within ~2% of the
+// pre-instrumentation baseline; the deltas between the sub-benches bound
+// what enabling each collector costs.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	epoch := time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC)
+	cfg := sim.Landsat8Config(epoch, 24*time.Hour, 4)
+	cfg.Workers = 1
+	run := func(b *testing.B, ctx context.Context) {
+		for i := 0; i < b.N; i++ {
+			res, err := sim.RunCtx(ctx, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.FramesObserved() == 0 {
+				b.Fatal("empty simulation")
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, context.Background())
+	})
+	b.Run("metrics", func(b *testing.B) {
+		ctx := telemetry.WithProbe(context.Background(),
+			telemetry.Probe{Metrics: telemetry.NewRegistry()})
+		run(b, ctx)
+	})
+	b.Run("metrics+trace", func(b *testing.B) {
+		ctx := telemetry.WithProbe(context.Background(),
+			telemetry.Probe{Metrics: telemetry.NewRegistry(), Trace: telemetry.NewTracer(0)})
+		run(b, ctx)
+	})
 }
 
 // --- Substrate microbenchmarks ---

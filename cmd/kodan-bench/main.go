@@ -6,11 +6,19 @@
 // Usage:
 //
 //	kodan-bench [-size full|quick] [-parallel N] [-only table1,fig2,...] [-csv DIR] [-json DIR]
+//	            [-trace FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -parallel bounds the evaluation worker pool (0 = GOMAXPROCS, 1 =
 // sequential); every setting produces byte-identical output. -csv writes
 // one <figure>.csv per selected table/figure; -json writes one
 // BENCH_<figure>.json (an array of row objects) for machine consumption.
+//
+// -trace records a span trace of the run (one span per figure, with the
+// transformation, simulation, and policy-sweep phases nested inside) as
+// JSONL and prints an end-of-run summary to stderr; -cpuprofile and
+// -memprofile write pprof profiles. Telemetry goes to its files and
+// stderr only — stdout (the figures) stays byte-identical with or
+// without it, at every -parallel setting.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"time"
 
 	"kodan/internal/experiments"
+	"kodan/internal/telemetry"
 )
 
 // generator produces one table or figure: the rendered text plus the typed
@@ -157,6 +166,9 @@ func main() {
 	parallelFlag := flag.Int("parallel", 0, "evaluation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files to this directory")
 	jsonDir := flag.String("json", "", "also write one BENCH_<figure>.json per table/figure to this directory")
+	traceFile := flag.String("trace", "", "write a JSONL span trace to this file and print a summary to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 
 	for _, dir := range []string{*csvDir, *jsonDir} {
@@ -178,6 +190,17 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	stopProfile, err := telemetry.StartProfiling(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var tracer *telemetry.Tracer
+	if *traceFile != "" {
+		tracer = telemetry.NewTracer(0)
+		ctx = telemetry.WithProbe(ctx, telemetry.Probe{Trace: tracer})
+	}
 
 	lab := experiments.NewLab(size)
 	lab.Workers = *parallelFlag
@@ -230,4 +253,14 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "total: %v\n", time.Since(start).Round(time.Millisecond))
+
+	if perr := stopProfile(); perr != nil {
+		log.Printf("profiling: %v", perr)
+	}
+	if tracer != nil {
+		if werr := telemetry.WriteTraceFile(tracer, *traceFile); werr != nil {
+			log.Fatal(werr)
+		}
+		fmt.Fprint(os.Stderr, telemetry.Summarize(tracer, 10).Render())
+	}
 }

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	kodan-server [-addr :8080] [-seed 2023] [-frames 120] [-workers 2] [-queue 8] [-timeout 120s]
+//	             [-debug-addr :6060]
 //
 // Endpoints:
 //
@@ -16,6 +17,12 @@
 //	GET  /v1/catalog                                       targets, apps, tilings, contexts
 //	GET  /healthz | /readyz | /metrics                     ops
 //
+// -debug-addr serves the Go diagnostics surface on a second listener —
+// /debug/pprof/* (CPU, heap, goroutine, block profiles) and /debug/vars
+// (expvar, including the server's full metrics snapshot under
+// "kodan.metrics") — kept off the public address so profiling endpoints
+// are never exposed to API clients.
+//
 // SIGINT/SIGTERM triggers a graceful shutdown that drains in-flight
 // requests (bounded by -drain).
 package main
@@ -23,9 +30,11 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +54,7 @@ func main() {
 	queue := flag.Int("queue", 8, "transform wait-queue depth (beyond this: 429)")
 	timeout := flag.Duration("timeout", 120*time.Second, "per-request processing ceiling")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (empty = disabled)")
 	verbose := flag.Bool("v", true, "log one line per request")
 	flag.Parse()
 
@@ -64,9 +74,24 @@ func main() {
 	}
 	srv := server.New(cfg)
 
+	if *debugAddr != "" {
+		// net/http/pprof and expvar both register on DefaultServeMux;
+		// publishing the snapshot here folds the full /metrics document
+		// (request counters, cache, pool, telemetry registry) into
+		// /debug/vars.
+		expvar.Publish("kodan.metrics", expvar.Func(func() interface{} { return srv.Metrics() }))
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe(*addr) }()
-	log.Printf("listening on %s (seed %d, %d workers, queue %d)", *addr, *seed, *workers, *queue)
+	m := srv.Metrics()
+	log.Printf("started addr=%s seed=%d workers=%d queue=%d timeout=%v cache_entries=%d debug_addr=%q",
+		*addr, *seed, *workers, *queue, *timeout, m.Cache.Entries, *debugAddr)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -77,13 +102,14 @@ func main() {
 			log.Fatal(err)
 		}
 	case sig := <-sigCh:
-		log.Printf("%v: draining in-flight requests (up to %v)...", sig, *drain)
+		log.Printf("stopping signal=%v drain_budget=%v", sig, *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		drainStart := time.Now()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			log.Printf("stopped drained=false drain=%v err=%v", time.Since(drainStart).Round(time.Millisecond), err)
 			os.Exit(1)
 		}
-		log.Printf("drained cleanly")
+		log.Printf("stopped drained=true drain=%v", time.Since(drainStart).Round(time.Millisecond))
 	}
 }

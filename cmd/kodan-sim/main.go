@@ -5,9 +5,17 @@
 // Usage:
 //
 //	kodan-sim [-sats 4] [-hours 24] [-planes 1] [-camera ms|hyper] [-parallel N]
+//	          [-trace FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -parallel bounds the per-satellite propagation worker pool (0 =
 // GOMAXPROCS, 1 = sequential); every setting produces identical ledgers.
+//
+// -trace records a span trace of the run (per-satellite propagation,
+// capture, contact-window, and downlink phases) as JSONL and prints an
+// end-of-run summary — per-phase wall time and the slowest spans — to
+// stderr. -cpuprofile and -memprofile write pprof profiles. None of the
+// three changes the ledgers: telemetry observes the run, it never feeds
+// back into it.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 
 	"kodan/internal/sense"
 	"kodan/internal/sim"
+	"kodan/internal/telemetry"
 )
 
 func main() {
@@ -32,6 +41,9 @@ func main() {
 	planes := flag.Int("planes", 1, "orbital planes")
 	camera := flag.String("camera", "ms", "payload: ms (multispectral) or hyper")
 	parallel := flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	traceFile := flag.String("trace", "", "write a JSONL span trace to this file and print a summary to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 
 	epoch := time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC)
@@ -49,9 +61,29 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	res, err := sim.RunCtx(ctx, cfg)
+	stopProfile, err := telemetry.StartProfiling(*cpuProfile, *memProfile)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	var tracer *telemetry.Tracer
+	if *traceFile != "" {
+		tracer = telemetry.NewTracer(0)
+		ctx = telemetry.WithProbe(ctx, telemetry.Probe{Trace: tracer})
+	}
+
+	res, err := sim.RunCtx(ctx, cfg)
+	if perr := stopProfile(); perr != nil {
+		log.Printf("profiling: %v", perr)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tracer != nil {
+		if werr := telemetry.WriteTraceFile(tracer, *traceFile); werr != nil {
+			log.Fatal(werr)
+		}
+		fmt.Fprint(os.Stderr, telemetry.Summarize(tracer, 10).Render())
 	}
 
 	deadline := cfg.Grid.FramePeriod(cfg.BaseOrbit)

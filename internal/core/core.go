@@ -23,6 +23,7 @@ import (
 	"kodan/internal/deploy"
 	"kodan/internal/hw"
 	"kodan/internal/policy"
+	"kodan/internal/telemetry"
 	"kodan/internal/tiling"
 	"kodan/internal/xrand"
 )
@@ -95,21 +96,27 @@ func NewWorkspaceCtx(ctx context.Context, cfg Config) (*Workspace, error) {
 	if len(cfg.Tilings) == 0 {
 		return nil, fmt.Errorf("core: no candidate tilings")
 	}
+	ctx, span := telemetry.StartSpan(ctx, "transform.workspace")
+	defer span.End()
 	w := &Workspace{Cfg: cfg, data: make(map[int]split)}
 	for _, tl := range cfg.Tilings {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		sp := span.Child("transform.dataset")
+		sp.Set("tiling", fmt.Sprint(tl.PerSide))
 		dcfg := dataset.DefaultConfig(cfg.Seed, tl)
 		dcfg.Frames = cfg.Frames
 		dcfg.TileRes = cfg.TileRes
 		ds, err := dataset.Generate(dcfg)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		rng := xrand.New(cfg.Seed ^ 0x5eed5011)
 		train, val := ds.Split(cfg.ValFrac, rng)
 		w.data[tl.PerSide] = split{train: train, val: val}
+		sp.End()
 	}
 
 	// Contexts from the coarsest tiling (largest tiles, richest label
@@ -123,7 +130,9 @@ func NewWorkspaceCtx(ctx context.Context, cfg Config) (*Workspace, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := span.Child("transform.contexts")
 	set, err := ctxengine.Build(w.data[coarsest.PerSide].train, cfg.Context, xrand.New(cfg.Seed^0xc0e1))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -166,24 +175,37 @@ func (w *Workspace) TransformApp(arch app.Architecture) (*Artifacts, error) {
 // which is also what makes concurrent transforms on one workspace
 // deterministic.
 func (w *Workspace) TransformAppCtx(ctx context.Context, arch app.Architecture) (*Artifacts, error) {
+	ctx, span := telemetry.StartSpan(ctx, "transform.app")
+	defer span.End()
+	span.Set("app", fmt.Sprint(arch.Index))
+	scope := telemetry.ProbeFrom(ctx).Metrics.Scope("transform")
 	art := &Artifacts{Arch: arch, Ctx: w.Ctx, Suites: make(map[int]*app.Suite)}
 	for _, tl := range w.Cfg.Tilings {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		tctx, sp := telemetry.StartSpan(ctx, "transform.tiling")
+		sp.Set("app", fmt.Sprint(arch.Index))
+		sp.Set("tiling", fmt.Sprint(tl.PerSide))
+		stageStart := time.Now()
 		s := w.data[tl.PerSide]
 		opts := app.DefaultTrainOptions()
 		opts.Augment = w.Cfg.Augment
 		opts.PixelsPerTile = perTileBudget(w.Cfg.PixelsPerFrame, tl)
 		opts.EvalPixelsPerTile = perTileBudget(w.Cfg.EvalPixelsPerFrame, tl)
 		rng := xrand.New(w.Cfg.Seed ^ uint64(arch.Index)<<32 ^ uint64(tl.PerSide))
-		suite, err := app.BuildSuiteCtx(ctx, arch, tl, s.train, s.val, w.Ctx, opts, rng)
+		suite, err := app.BuildSuiteCtx(tctx, arch, tl, s.train, s.val, w.Ctx, opts, rng)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		art.Suites[tl.PerSide] = suite
 		art.Profiles = append(art.Profiles, w.profile(tl, suite))
+		sp.End()
+		scope.Histogram("tiling_seconds").Observe(time.Since(stageStart).Seconds())
+		scope.Counter("suites_trained").Inc()
 	}
+	scope.Counter("apps_transformed").Inc()
 	return art, nil
 }
 

@@ -38,6 +38,8 @@ func (l *Lab) AblationContextCount(ks []int) ([]AblationKRow, error) {
 // AblationContextCountCtx is AblationContextCount with cancellation; the
 // per-K workspace builds run on the lab's worker pool.
 func (l *Lab) AblationContextCountCtx(ctx context.Context, ks []int) ([]AblationKRow, error) {
+	ctx, span := l.startFigure(ctx, "ablation-k")
+	defer span.End()
 	d, err := l.DeploymentCtx(ctx, hw.Orin15W)
 	if err != nil {
 		return nil, err
@@ -105,6 +107,8 @@ func (l *Lab) AblationContextSource() ([]AblationSourceRow, error) {
 // AblationContextSourceCtx is AblationContextSource with cancellation; the
 // two workspace builds run on the lab's worker pool.
 func (l *Lab) AblationContextSourceCtx(ctx context.Context) ([]AblationSourceRow, error) {
+	ctx, span := l.startFigure(ctx, "ablation-source")
+	defer span.End()
 	d, err := l.DeploymentCtx(ctx, hw.Orin15W)
 	if err != nil {
 		return nil, err

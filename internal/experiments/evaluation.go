@@ -59,6 +59,8 @@ func (l *Lab) Figure8() ([]Fig8Row, error) {
 // Figure8Ctx is Figure8 with cancellation; the (target, app) sweep runs
 // on the lab's worker pool.
 func (l *Lab) Figure8Ctx(ctx context.Context) ([]Fig8Row, error) {
+	ctx, span := l.startFigure(ctx, "fig8")
+	defer span.End()
 	pairs := targetAppPairs()
 	rows := make([]Fig8Row, len(pairs))
 	err := parallel.ForEach(ctx, l.workers(), len(pairs), func(ctx context.Context, k int) error {
@@ -121,6 +123,8 @@ func (l *Lab) Figure9() ([]Fig9Row, error) {
 // Figure9Ctx is Figure9 with cancellation; the (target, app) sweep runs
 // on the lab's worker pool.
 func (l *Lab) Figure9Ctx(ctx context.Context) ([]Fig9Row, error) {
+	ctx, span := l.startFigure(ctx, "fig9")
+	defer span.End()
 	m, err := l.MissionCtx(ctx)
 	if err != nil {
 		return nil, err
@@ -195,6 +199,8 @@ func (l *Lab) Figure10() ([]Fig10Point, error) {
 // Figure10Ctx is Figure10 with cancellation; the curve sweep and the
 // measured deployment points run on the lab's worker pool.
 func (l *Lab) Figure10Ctx(ctx context.Context) ([]Fig10Point, error) {
+	ctx, span := l.startFigure(ctx, "fig10")
+	defer span.End()
 	m, err := l.MissionCtx(ctx)
 	if err != nil {
 		return nil, err
@@ -324,6 +330,8 @@ func (l *Lab) Figure11() ([]Fig11Row, error) {
 // Figure11Ctx is Figure11 with cancellation; the per-app sweep runs on
 // the lab's worker pool.
 func (l *Lab) Figure11Ctx(ctx context.Context) ([]Fig11Row, error) {
+	ctx, span := l.startFigure(ctx, "fig11")
+	defer span.End()
 	m, err := l.MissionCtx(ctx)
 	if err != nil {
 		return nil, err
@@ -400,6 +408,8 @@ func (l *Lab) Figure12() ([]Fig12Row, error) {
 // Figure12Ctx is Figure12 with cancellation; the per-app sweep runs on
 // the lab's worker pool.
 func (l *Lab) Figure12Ctx(ctx context.Context) ([]Fig12Row, error) {
+	ctx, span := l.startFigure(ctx, "fig12")
+	defer span.End()
 	tl := l.coarsestTiling()
 	rows := make([]Fig12Row, 7)
 	err := parallel.ForEach(ctx, l.workers(), len(rows), func(ctx context.Context, k int) error {
@@ -476,6 +486,8 @@ func (l *Lab) Figure13() ([]Fig13Row, error) {
 // the lab's worker pool. Each app contributes one row per tiling, so the
 // per-app row groups are flattened in app order after the sweep.
 func (l *Lab) Figure13Ctx(ctx context.Context) ([]Fig13Row, error) {
+	ctx, span := l.startFigure(ctx, "fig13")
+	defer span.End()
 	groups := make([][]Fig13Row, 7)
 	err := parallel.ForEach(ctx, l.workers(), len(groups), func(ctx context.Context, k int) error {
 		i := k + 1
@@ -536,6 +548,8 @@ func (l *Lab) Figure14() ([]Fig14Row, error) {
 // profile, so the per-pair row groups are flattened in render order after
 // the sweep.
 func (l *Lab) Figure14Ctx(ctx context.Context) ([]Fig14Row, error) {
+	ctx, span := l.startFigure(ctx, "fig14")
+	defer span.End()
 	pairs := targetAppPairs()
 	groups := make([][]Fig14Row, len(pairs))
 	err := parallel.ForEach(ctx, l.workers(), len(pairs), func(ctx context.Context, k int) error {
@@ -599,6 +613,8 @@ func (l *Lab) Figure15() ([]Fig15Row, error) {
 // Figure15Ctx is Figure15 with cancellation; the (target, app) sweep —
 // each cell an exhaustive elision search — runs on the lab's worker pool.
 func (l *Lab) Figure15Ctx(ctx context.Context) ([]Fig15Row, error) {
+	ctx, span := l.startFigure(ctx, "fig15")
+	defer span.End()
 	pairs := targetAppPairs()
 	rows := make([]Fig15Row, len(pairs))
 	err := parallel.ForEach(ctx, l.workers(), len(pairs), func(ctx context.Context, k int) error {

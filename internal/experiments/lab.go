@@ -19,6 +19,7 @@ import (
 	"kodan/internal/parallel"
 	"kodan/internal/policy"
 	"kodan/internal/sim"
+	"kodan/internal/telemetry"
 	"kodan/internal/tiling"
 )
 
@@ -52,6 +53,11 @@ type Lab struct {
 	// constellation simulations: 0 uses GOMAXPROCS, 1 forces the
 	// sequential path. Any value yields byte-identical figures.
 	Workers int
+	// Probe, when set, receives the lab's telemetry: one span per figure,
+	// memoization hit/miss counters, and everything the instrumented
+	// layers underneath (sim, transform, parallel) emit. The zero Probe
+	// disables all of it; either way figure bytes are identical.
+	Probe telemetry.Probe
 
 	mu       sync.Mutex
 	ws       memo[*core.Workspace]
@@ -69,13 +75,18 @@ type memo[T any] struct {
 	val  T
 }
 
-// do returns the memoized value, computing it with f if needed.
-func (m *memo[T]) do(f func() (T, error)) (T, error) {
+// do returns the memoized value, computing it with f if needed. hit and
+// miss count the lookup outcome (nil-safe: pass nil when uninstrumented).
+// A caller blocked behind the in-flight computation counts as a hit once
+// it observes the completed value.
+func (m *memo[T]) do(hit, miss *telemetry.Counter, f func() (T, error)) (T, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.done {
+		hit.Inc()
 		return m.val, nil
 	}
+	miss.Inc()
 	v, err := f()
 	if err != nil {
 		var zero T
@@ -98,6 +109,35 @@ func NewLab(size Size) *Lab {
 
 // workers resolves the lab's worker knob.
 func (l *Lab) workers() int { return parallel.Workers(l.Workers) }
+
+// probeCtx threads the lab's probe into ctx so the instrumented layers
+// below (sim, core, nn, parallel) record into it. A context that already
+// carries a probe wins — callers like the server own their telemetry.
+func (l *Lab) probeCtx(ctx context.Context) context.Context {
+	if !l.Probe.Enabled() || telemetry.ProbeFrom(ctx).Enabled() {
+		return ctx
+	}
+	return telemetry.WithProbe(ctx, l.Probe)
+}
+
+// startFigure opens one figure's span and counts the sweep; every
+// FigureNCtx driver calls it first, so traces group all work under the
+// figure that caused it.
+func (l *Lab) startFigure(ctx context.Context, name string) (context.Context, *telemetry.Span) {
+	ctx = l.probeCtx(ctx)
+	ctx, sp := telemetry.StartSpan(ctx, "figure."+name)
+	telemetry.ProbeFrom(ctx).Metrics.Scope("lab").Counter("figures").Inc()
+	return ctx, sp
+}
+
+// memoCounters returns the lab-scope hit/miss counters of one memo kind.
+func (l *Lab) memoCounters(kind string) (hit, miss *telemetry.Counter) {
+	scope := l.Probe.Metrics.Scope("lab")
+	if scope == nil {
+		return nil, nil
+	}
+	return scope.Counter("memo." + kind + ".hit"), scope.Counter("memo." + kind + ".miss")
+}
 
 // transformConfig returns the lab's transformation sizing.
 func (l *Lab) transformConfig() core.Config {
@@ -129,8 +169,9 @@ func (l *Lab) Workspace() (*core.Workspace, error) {
 // WorkspaceCtx returns the memoized transformation workspace, building it
 // under ctx on first use.
 func (l *Lab) WorkspaceCtx(ctx context.Context) (*core.Workspace, error) {
-	return l.ws.do(func() (*core.Workspace, error) {
-		return core.NewWorkspaceCtx(ctx, l.transformConfig())
+	hit, miss := l.memoCounters("workspace")
+	return l.ws.do(hit, miss, func() (*core.Workspace, error) {
+		return core.NewWorkspaceCtx(l.probeCtx(ctx), l.transformConfig())
 	})
 }
 
@@ -153,12 +194,13 @@ func (l *Lab) AppCtx(ctx context.Context, index int) (*core.Artifacts, error) {
 		l.apps[index] = m
 	}
 	l.mu.Unlock()
-	return m.do(func() (*core.Artifacts, error) {
+	hit, miss := l.memoCounters("app")
+	return m.do(hit, miss, func() (*core.Artifacts, error) {
 		ws, err := l.WorkspaceCtx(ctx)
 		if err != nil {
 			return nil, err
 		}
-		return ws.TransformAppCtx(ctx, app.App(index))
+		return ws.TransformAppCtx(l.probeCtx(ctx), app.App(index))
 	})
 }
 
@@ -178,7 +220,8 @@ func (l *Lab) Mission() (missionProfile, error) {
 // MissionCtx returns the memoized single-satellite mission profile,
 // simulating it under ctx on first use.
 func (l *Lab) MissionCtx(ctx context.Context) (missionProfile, error) {
-	return l.mission.do(func() (missionProfile, error) {
+	hit, miss := l.memoCounters("mission")
+	return l.mission.do(hit, miss, func() (missionProfile, error) {
 		res, err := l.dayRun(ctx, 1)
 		if err != nil {
 			return missionProfile{}, err
@@ -205,10 +248,11 @@ func (l *Lab) dayRun(ctx context.Context, sats int) (*sim.Result, error) {
 		l.capacity[sats] = m
 	}
 	l.mu.Unlock()
-	return m.do(func() (*sim.Result, error) {
+	hit, miss := l.memoCounters("capacity")
+	return m.do(hit, miss, func() (*sim.Result, error) {
 		cfg := sim.Landsat8Config(l.Epoch, 24*time.Hour, sats)
 		cfg.Workers = l.Workers
-		return sim.RunCtx(ctx, cfg)
+		return sim.RunCtx(l.probeCtx(ctx), cfg)
 	})
 }
 

@@ -70,6 +70,8 @@ func (l *Lab) Figure2(satCounts []int) ([]Fig2Row, error) {
 // Figure2Ctx is Figure2 with cancellation; the satellite-count sweep runs
 // on the lab's worker pool.
 func (l *Lab) Figure2Ctx(ctx context.Context, satCounts []int) ([]Fig2Row, error) {
+	ctx, span := l.startFigure(ctx, "fig2")
+	defer span.End()
 	rows := make([]Fig2Row, len(satCounts))
 	err := parallel.ForEach(ctx, l.workers(), len(satCounts), func(ctx context.Context, i int) error {
 		n := satCounts[i]
@@ -124,6 +126,8 @@ func (l *Lab) Figure3(satCounts []int) ([]Fig3Row, error) {
 // Figure3Ctx is Figure3 with cancellation; the satellite-count sweep runs
 // on the lab's worker pool.
 func (l *Lab) Figure3Ctx(ctx context.Context, satCounts []int) ([]Fig3Row, error) {
+	ctx, span := l.startFigure(ctx, "fig3")
+	defer span.End()
 	total := wrs.Landsat8Grid().TotalScenes()
 	rows := make([]Fig3Row, len(satCounts))
 	err := parallel.ForEach(ctx, l.workers(), len(satCounts), func(ctx context.Context, i int) error {
@@ -185,6 +189,8 @@ func (l *Lab) Figure4() ([]Fig4Row, error) {
 
 // Figure4Ctx is Figure4 with cancellation.
 func (l *Lab) Figure4Ctx(ctx context.Context) ([]Fig4Row, error) {
+	ctx, span := l.startFigure(ctx, "fig4")
+	defer span.End()
 	m, err := l.MissionCtx(ctx)
 	if err != nil {
 		return nil, err
@@ -250,6 +256,8 @@ func (l *Lab) Figure5(satCounts []int) ([]Fig5Row, error) {
 // on the lab's worker pool (concurrent day-long simulations are
 // single-flight per count and shared with every other figure).
 func (l *Lab) Figure5Ctx(ctx context.Context, satCounts []int) ([]Fig5Row, error) {
+	ctx, span := l.startFigure(ctx, "fig5")
+	defer span.End()
 	m, err := l.MissionCtx(ctx)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"kodan/internal/telemetry"
+)
+
+// renderFig2Traced runs Figure 2 on a fresh quick lab at the given worker
+// count, optionally under a span tracer, and returns the rendered figure.
+func renderFig2Traced(t *testing.T, workers int, tracer *telemetry.Tracer) string {
+	t.Helper()
+	lab := NewLab(Quick)
+	lab.Workers = workers
+	if tracer != nil {
+		lab.Probe = telemetry.Probe{Metrics: telemetry.NewRegistry(), Trace: tracer}
+	}
+	rows, err := lab.Figure2Ctx(context.Background(), lab.SatCounts())
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return RenderFigure2(rows)
+}
+
+// TestTracedFigureOutputIdentical is the telemetry-never-feeds-back gate:
+// enabling tracing and metrics must not perturb figure output at any
+// worker count.
+func TestTracedFigureOutputIdentical(t *testing.T) {
+	base := renderFig2Traced(t, 1, nil)
+	for _, workers := range []int{1, 4} {
+		got := renderFig2Traced(t, workers, telemetry.NewTracer(0))
+		if got != base {
+			t.Fatalf("workers=%d with tracing: figure output diverged from untraced baseline\n--- baseline:\n%s\n--- traced:\n%s", workers, base, got)
+		}
+	}
+}
+
+// TestTraceJSONLBalanced asserts the exported trace of a real concurrent
+// figure run is well-formed JSONL with every begin matched by exactly one
+// end, regardless of worker count.
+func TestTraceJSONLBalanced(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		tracer := telemetry.NewTracer(0)
+		renderFig2Traced(t, workers, tracer)
+
+		var buf bytes.Buffer
+		if err := tracer.WriteJSONL(&buf); err != nil {
+			t.Fatalf("workers=%d: WriteJSONL: %v", workers, err)
+		}
+		begins := map[int64]string{}
+		ends := map[int64]int{}
+		lines := 0
+		dec := json.NewDecoder(&buf)
+		for dec.More() {
+			var ev telemetry.Event
+			if err := dec.Decode(&ev); err != nil {
+				t.Fatalf("workers=%d: line %d not valid JSON: %v", workers, lines+1, err)
+			}
+			lines++
+			switch ev.Ev {
+			case "b":
+				if _, dup := begins[ev.ID]; dup {
+					t.Fatalf("workers=%d: duplicate begin for span %d", workers, ev.ID)
+				}
+				begins[ev.ID] = ev.Name
+			case "e":
+				ends[ev.ID]++
+			default:
+				t.Fatalf("workers=%d: unknown event kind %q", workers, ev.Ev)
+			}
+		}
+		if lines == 0 {
+			t.Fatalf("workers=%d: empty trace", workers)
+		}
+		for id, name := range begins {
+			if ends[id] != 1 {
+				t.Errorf("workers=%d: span %d (%s) has %d ends, want 1", workers, id, name, ends[id])
+			}
+		}
+		for id := range ends {
+			if _, ok := begins[id]; !ok {
+				t.Errorf("workers=%d: end without begin for span %d", workers, id)
+			}
+		}
+		if tracer.Dropped() != 0 {
+			t.Errorf("workers=%d: tracer dropped %d events", workers, tracer.Dropped())
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"kodan/internal/hw"
 	"kodan/internal/parallel"
 	"kodan/internal/policy"
+	"kodan/internal/telemetry"
 )
 
 // AppSpec is one customer application: its architecture and measured
@@ -129,6 +130,9 @@ func DedicatedCtx(ctx context.Context, specs []AppSpec, cfg Config) (Report, err
 	if err := cfg.validate(len(specs)); err != nil {
 		return Report{}, err
 	}
+	ctx, span := telemetry.StartSpan(ctx, "fleet.dedicated")
+	defer span.End()
+	telemetry.ProbeFrom(ctx).Metrics.Scope("fleet").Counter("evaluations").Add(int64(len(specs)))
 	base := cfg.Sats / len(specs)
 	extra := cfg.Sats % len(specs)
 	vals := make([]AppValue, len(specs))
@@ -164,6 +168,9 @@ func SharedCtx(ctx context.Context, specs []AppSpec, cfg Config) (Report, error)
 	if err := cfg.validate(len(specs)); err != nil {
 		return Report{}, err
 	}
+	ctx, span := telemetry.StartSpan(ctx, "fleet.shared")
+	defer span.End()
+	telemetry.ProbeFrom(ctx).Metrics.Scope("fleet").Counter("evaluations").Add(int64(len(specs)))
 	a := len(specs)
 	vals := make([]AppValue, len(specs))
 	err := parallel.ForEach(ctx, parallel.Workers(cfg.Workers), len(specs), func(_ context.Context, i int) error {

@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
+	"kodan/internal/telemetry"
 	"kodan/internal/xrand"
 )
 
@@ -408,12 +410,26 @@ func (n *Net) Fit(xs [][]float64, ys []float64, cfg TrainConfig, rng *xrand.Rand
 // run that completes all epochs is bit-identical to Fit with the same
 // inputs; a cancelled run leaves the network partially trained and should
 // be discarded.
+//
+// When ctx carries a telemetry probe, each completed fit records its wall
+// time into the nn.fit_seconds histogram plus epoch/sample counters — the
+// per-stage training accounting the transform-timing reports aggregate.
+// Training itself never reads telemetry state, so results are unaffected.
 func (n *Net) FitCtx(ctx context.Context, xs [][]float64, ys []float64, cfg TrainConfig, rng *xrand.Rand) (float64, error) {
 	if len(xs) != len(ys) {
 		panic("nn: len(xs) != len(ys)")
 	}
 	if len(xs) == 0 {
 		return 0, nil
+	}
+	if scope := telemetry.ProbeFrom(ctx).Metrics.Scope("nn"); scope != nil {
+		start := time.Now()
+		defer func() {
+			scope.Histogram("fit_seconds").Observe(time.Since(start).Seconds())
+			scope.Counter("fits").Inc()
+			scope.Counter("epochs").Add(int64(cfg.Epochs))
+			scope.Counter("samples").Add(int64(cfg.Epochs) * int64(len(xs)))
+		}()
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 32

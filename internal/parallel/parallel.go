@@ -17,6 +17,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"kodan/internal/telemetry"
 )
 
 // Workers resolves a worker-count knob: n > 0 is used as given, anything
@@ -40,6 +43,13 @@ func Workers(n int) int {
 // fn must confine its writes to caller-owned, per-index state (out[i] = ...)
 // and must not depend on any cross-item mutable state; under that
 // contract the results are bit-identical at every worker count.
+//
+// When the context carries a telemetry probe, ForEach reports worker
+// occupancy (parallel.active gauge, whose max is the realized
+// parallelism), item counts, per-item run time, and queue wait — the
+// delay between the sweep starting and a worker picking an item up. With
+// no probe attached the only cost over the uninstrumented loop is a
+// context value lookup per ForEach call and a nil check per item.
 func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -47,14 +57,17 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 	if workers > n {
 		workers = n
 	}
+	probe := newForEachProbe(ctx)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			start := probe.itemStart()
 			if err := fn(ctx, i); err != nil {
 				return err
 			}
+			probe.itemDone(start)
 		}
 		return nil
 	}
@@ -78,16 +91,67 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 					errs[i] = err
 					return
 				}
+				start := probe.itemStart()
 				if err := fn(ctx, i); err != nil {
 					errs[i] = err
 					cancel()
 					return
 				}
+				probe.itemDone(start)
 			}
 		}()
 	}
 	wg.Wait()
 	return firstError(errs)
+}
+
+// forEachProbe holds the metric handles of one instrumented sweep; the
+// zero value (no registry on the context) makes every call a nil no-op.
+type forEachProbe struct {
+	active    *telemetry.Gauge
+	items     *telemetry.Counter
+	itemSecs  *telemetry.Histogram
+	queueWait *telemetry.Histogram
+	start     time.Time
+}
+
+// newForEachProbe resolves the sweep's metrics once, outside the item
+// loop, so the per-item cost is a nil check.
+func newForEachProbe(ctx context.Context) forEachProbe {
+	reg := telemetry.ProbeFrom(ctx).Metrics
+	if reg == nil {
+		return forEachProbe{}
+	}
+	scope := reg.Scope("parallel")
+	return forEachProbe{
+		active:    scope.Gauge("active"),
+		items:     scope.Counter("items"),
+		itemSecs:  scope.Histogram("item_seconds"),
+		queueWait: scope.Histogram("queue_wait_seconds"),
+		start:     time.Now(),
+	}
+}
+
+// itemStart marks a worker busy and returns the item's start time (zero
+// when uninstrumented).
+func (p forEachProbe) itemStart() time.Time {
+	if p.active == nil {
+		return time.Time{}
+	}
+	now := time.Now()
+	p.active.Add(1)
+	p.queueWait.Observe(now.Sub(p.start).Seconds())
+	return now
+}
+
+// itemDone marks the worker idle and records the item's run time.
+func (p forEachProbe) itemDone(start time.Time) {
+	if p.active == nil {
+		return
+	}
+	p.active.Add(-1)
+	p.items.Inc()
+	p.itemSecs.Observe(time.Since(start).Seconds())
 }
 
 // firstError picks the error the sequential loop would have returned: the

@@ -134,24 +134,21 @@ func (s *Server) system(ctx context.Context, seed uint64) (*kodan.System, CacheS
 func (s *Server) application(ctx context.Context, seed uint64, appIndex int) (*kodan.Application, CacheSource, error) {
 	key := fmt.Sprintf("app|%d|%d", seed, appIndex)
 	v, src, err := s.cache.Do(ctx, key, func(cctx context.Context) (interface{}, error) {
+		enqueued := time.Now()
 		if err := s.pool.Acquire(cctx); err != nil {
 			return nil, err
 		}
 		defer s.pool.Release()
+		s.metrics.PoolAcquired(time.Since(enqueued), s.pool.Stats().InFlight)
 		sys, _, err := s.system(cctx, seed)
 		if err != nil {
 			return nil, err
 		}
 		s.metrics.TransformStarted()
+		start := time.Now()
 		app, err := s.cfg.Transform(cctx, sys, appIndex)
-		switch {
-		case err == nil:
-			s.metrics.TransformCompleted()
-		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-			s.metrics.TransformCancelled()
-		default:
-			s.metrics.TransformFailed()
-		}
+		cancelled := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+		s.metrics.TransformDone(time.Since(start), err, cancelled)
 		return app, err
 	})
 	if err != nil {
@@ -171,9 +168,9 @@ func (s *Server) mission(ctx context.Context, days, sats int) (kodan.Mission, er
 		sats = 1
 	}
 	key := fmt.Sprintf("sim|%d|%d", days, sats)
-	v, _, err := s.cache.Do(ctx, key, func(context.Context) (interface{}, error) {
+	v, _, err := s.cache.Do(ctx, key, func(cctx context.Context) (interface{}, error) {
 		cfg := sim.Landsat8Config(s.cfg.SimEpoch, time.Duration(days)*24*time.Hour, sats)
-		res, err := sim.Run(cfg)
+		res, err := sim.RunCtx(cctx, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -4,24 +4,36 @@ import (
 	"sort"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"kodan/internal/telemetry"
 )
 
 // Metrics collects the server's ops counters: per-route request counts and
 // latency percentiles, cache hit/miss/join counts, transform lifecycle
 // counts, and worker-pool gauges. It is exported as JSON by GET /metrics.
+//
+// Everything except the per-route latency reservoirs lives in a shared
+// telemetry.Registry — the same registry the instrumented pipeline layers
+// (sim, transform, nn, parallel) record into via the server's base
+// context — so /metrics exports the server's own counters and the
+// pipeline's per-stage histograms from one collector instead of two
+// bookkeeping systems.
 type Metrics struct {
 	start time.Time
+	reg   *telemetry.Registry
 
 	mu     sync.Mutex
 	routes map[string]*routeStats
 	window int
 
-	transformsStarted   atomic.Int64
-	transformsCompleted atomic.Int64
-	transformsCancelled atomic.Int64
-	transformsFailed    atomic.Int64
+	transformsStarted   *telemetry.Counter
+	transformsCompleted *telemetry.Counter
+	transformsCancelled *telemetry.Counter
+	transformsFailed    *telemetry.Counter
+	transformSeconds    *telemetry.Histogram
+	poolWaitSeconds     *telemetry.Histogram
+	poolOccupancy       *telemetry.Gauge
 }
 
 // routeStats accumulates one route's counters and a bounded latency
@@ -34,13 +46,34 @@ type routeStats struct {
 }
 
 // NewMetrics returns a collector keeping the given number of latency
-// samples per route (0 means a 512-sample default).
-func NewMetrics(window int) *Metrics {
+// samples per route (0 means a 512-sample default), backed by reg (nil
+// means a fresh private registry).
+func NewMetrics(window int, reg *telemetry.Registry) *Metrics {
 	if window <= 0 {
 		window = 512
 	}
-	return &Metrics{start: time.Now(), routes: make(map[string]*routeStats), window: window}
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	scope := reg.Scope("server")
+	return &Metrics{
+		start:               time.Now(),
+		reg:                 reg,
+		routes:              make(map[string]*routeStats),
+		window:              window,
+		transformsStarted:   scope.Counter("transforms.started"),
+		transformsCompleted: scope.Counter("transforms.completed"),
+		transformsCancelled: scope.Counter("transforms.cancelled"),
+		transformsFailed:    scope.Counter("transforms.failed"),
+		transformSeconds:    scope.Histogram("transform_seconds"),
+		poolWaitSeconds:     scope.Histogram("pool_wait_seconds"),
+		poolOccupancy:       scope.Gauge("pool_occupancy"),
+	}
 }
+
+// Registry exposes the shared registry so the server can thread it (as a
+// telemetry probe) into the computation contexts.
+func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
 
 // Observe records one served request.
 func (m *Metrics) Observe(route string, status int, d time.Duration) {
@@ -63,19 +96,47 @@ func (m *Metrics) Observe(route string, status int, d time.Duration) {
 }
 
 // Transform lifecycle hooks, called by the server around each underlying
-// transformation run.
-func (m *Metrics) TransformStarted()   { m.transformsStarted.Add(1) }
-func (m *Metrics) TransformCompleted() { m.transformsCompleted.Add(1) }
-func (m *Metrics) TransformCancelled() { m.transformsCancelled.Add(1) }
-func (m *Metrics) TransformFailed()    { m.transformsFailed.Add(1) }
+// transformation run. TransformDone folds the outcome counters and the
+// stage-duration histogram into one call.
+func (m *Metrics) TransformStarted() { m.transformsStarted.Inc() }
+
+// TransformDone records one finished transform: its wall time and the
+// outcome (nil = completed, context errors = cancelled, rest = failed).
+func (m *Metrics) TransformDone(d time.Duration, outcome error, cancelled bool) {
+	m.transformSeconds.Observe(d.Seconds())
+	switch {
+	case outcome == nil:
+		m.transformsCompleted.Inc()
+	case cancelled:
+		m.transformsCancelled.Inc()
+	default:
+		m.transformsFailed.Inc()
+	}
+}
+
+// PoolAcquired records a successful worker-slot acquisition: how long the
+// caller waited and the pool occupancy it observed after acquiring.
+func (m *Metrics) PoolAcquired(wait time.Duration, inFlight int) {
+	m.poolWaitSeconds.Observe(wait.Seconds())
+	m.poolOccupancy.Set(int64(inFlight))
+}
 
 // LatencySnapshot holds nearest-rank percentiles in milliseconds over the
-// route's reservoir.
+// route's reservoir, plus how much evidence backs them: Samples is the
+// number of observations currently in the reservoir and Window its
+// capacity. On a tiny reservoir p99 silently equals the max — readers
+// should treat percentiles from a few samples as anecdotes, not tails.
 type LatencySnapshot struct {
 	P50 float64 `json:"p50Ms"`
 	P90 float64 `json:"p90Ms"`
 	P99 float64 `json:"p99Ms"`
 	Max float64 `json:"maxMs"`
+	// Samples is the reservoir's current fill (percentiles are computed
+	// over exactly these many recent requests).
+	Samples int `json:"samples"`
+	// Window is the reservoir capacity (the most recent Window requests
+	// are retained).
+	Window int `json:"window"`
 }
 
 // RouteSnapshot is one route's exported counters.
@@ -101,13 +162,18 @@ type TransformSnapshot struct {
 	Failed    int64 `json:"failed"`
 }
 
-// Snapshot is the full /metrics document.
+// Snapshot is the full /metrics document. Telemetry carries the shared
+// registry: the server scope (pool occupancy/wait, transform-stage
+// histograms) plus per-stage instrumentation from the pipeline layers
+// that ran under this server (sim spans' counters, nn fit histograms,
+// parallel worker occupancy).
 type Snapshot struct {
-	UptimeSeconds float64                  `json:"uptimeSeconds"`
-	Requests      map[string]RouteSnapshot `json:"requests"`
-	Cache         CacheSnapshot            `json:"cache"`
-	Pool          PoolStats                `json:"pool"`
-	Transforms    TransformSnapshot        `json:"transforms"`
+	UptimeSeconds float64                    `json:"uptimeSeconds"`
+	Requests      map[string]RouteSnapshot   `json:"requests"`
+	Cache         CacheSnapshot              `json:"cache"`
+	Pool          PoolStats                  `json:"pool"`
+	Transforms    TransformSnapshot          `json:"transforms"`
+	Telemetry     telemetry.RegistrySnapshot `json:"telemetry"`
 }
 
 // Snapshot assembles the exported document from the collector plus the
@@ -122,6 +188,7 @@ func (m *Metrics) Snapshot(cache *Cache, pool *Pool) Snapshot {
 			Cancelled: m.transformsCancelled.Load(),
 			Failed:    m.transformsFailed.Load(),
 		},
+		Telemetry: m.reg.Snapshot(),
 	}
 	if cache != nil {
 		h, mi, j := cache.Stats()
@@ -137,14 +204,17 @@ func (m *Metrics) Snapshot(cache *Cache, pool *Pool) Snapshot {
 		for code, n := range rs.byStatus {
 			out.ByStatus[strconv.Itoa(code)] = n
 		}
+		out.Latency.Window = m.window
 		if len(rs.lat) > 0 {
 			sorted := append([]float64(nil), rs.lat...)
 			sort.Float64s(sorted)
 			out.Latency = LatencySnapshot{
-				P50: percentile(sorted, 50),
-				P90: percentile(sorted, 90),
-				P99: percentile(sorted, 99),
-				Max: sorted[len(sorted)-1],
+				P50:     percentile(sorted, 50),
+				P90:     percentile(sorted, 90),
+				P99:     percentile(sorted, 99),
+				Max:     sorted[len(sorted)-1],
+				Samples: len(sorted),
+				Window:  m.window,
 			}
 		}
 		snap.Requests[route] = out

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"kodan"
+	"kodan/internal/telemetry"
 )
 
 // TransformFunc runs the one-time transformation of one application on a
@@ -121,14 +122,20 @@ type Server struct {
 // New builds a server from the configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	metrics := NewMetrics(cfg.MetricsWindow, nil)
 	base, cancel := context.WithCancel(context.Background())
+	// Cached computations derive their contexts from base, so the probe
+	// installed here makes every transform, simulation, and policy sweep
+	// record into the server's registry — their per-stage counters and
+	// histograms surface in /metrics alongside the serving counters.
+	base = telemetry.WithProbe(base, telemetry.Probe{Metrics: metrics.Registry()})
 	s := &Server{
 		cfg:        cfg,
 		baseCtx:    base,
 		baseCancel: cancel,
 		cache:      NewCache(base),
 		pool:       NewPool(cfg.Workers, cfg.QueueDepth),
-		metrics:    NewMetrics(cfg.MetricsWindow),
+		metrics:    metrics,
 	}
 	s.handler = s.routes()
 	s.httpSrv = &http.Server{Handler: s.handler}

@@ -18,6 +18,7 @@ import (
 	"kodan/internal/parallel"
 	"kodan/internal/sense"
 	"kodan/internal/station"
+	"kodan/internal/telemetry"
 	"kodan/internal/wrs"
 	"kodan/internal/xrand"
 )
@@ -133,11 +134,23 @@ func Run(cfg Config) (*Result, error) {
 // RunCtx executes the simulation. The per-satellite propagation and
 // contact-window loops run on cfg.Workers goroutines; ctx cancellation
 // aborts the remaining satellites and returns ctx's error.
+//
+// When ctx carries a telemetry probe, the run emits a sim.run span (sim-
+// time stamped with the simulated interval) with per-satellite capture
+// spans, per-(station, satellite) contact-window spans, and a downlink-
+// allocation span underneath, plus frame/window/grant counters in the
+// "sim" scope. Telemetry never influences the simulation: results remain
+// byte-identical with tracing on or off and at every worker count.
 func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	ctx, span := telemetry.StartSpan(ctx, "sim.run")
+	defer span.End()
+	span.Sim(cfg.Epoch, cfg.Epoch.Add(cfg.Span))
+	span.Set("sats", fmt.Sprint(cfg.Satellites))
+	scope := telemetry.ProbeFrom(ctx).Metrics.Scope("sim")
 
 	var sats []orbit.Elements
 	switch {
@@ -163,8 +176,13 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	workers := parallel.Workers(cfg.Workers)
 
 	// Capture schedules: one independent propagation per satellite.
+	framesCtr := scope.Counter("frames_captured")
 	res.Captures = make([][]sense.Capture, len(sats))
-	err := parallel.ForEach(ctx, workers, len(sats), func(_ context.Context, i int) error {
+	err := parallel.ForEach(ctx, workers, len(sats), func(ictx context.Context, i int) error {
+		_, sp := telemetry.StartSpan(ictx, "sim.captures")
+		defer sp.End()
+		sp.Sim(cfg.Epoch, cfg.Epoch.Add(cfg.Span))
+		sp.Set("sat", fmt.Sprint(i))
 		im, err := sense.NewImager(cfg.Camera, sats[i], cfg.Grid)
 		if err != nil {
 			return err
@@ -174,6 +192,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 			caps[j].Sat = i
 		}
 		res.Captures[i] = caps
+		framesCtr.Add(int64(len(caps)))
 		return nil
 	})
 	if err != nil {
@@ -187,14 +206,23 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	for si := range cfg.Stations {
 		windows[si] = make([][]station.Window, len(sats))
 	}
-	err = parallel.ForEach(ctx, workers, len(cfg.Stations)*len(sats), func(_ context.Context, k int) error {
+	windowsCtr := scope.Counter("contact_windows")
+	err = parallel.ForEach(ctx, workers, len(cfg.Stations)*len(sats), func(ictx context.Context, k int) error {
 		si, j := k/len(sats), k%len(sats)
+		_, sp := telemetry.StartSpan(ictx, "sim.contacts")
+		defer sp.End()
+		sp.Sim(cfg.Epoch, cfg.Epoch.Add(cfg.Span))
+		sp.Set("station", cfg.Stations[si].Name)
+		sp.Set("sat", fmt.Sprint(j))
 		windows[si][j] = station.ContactWindows(cfg.Stations[si], sats[j], cfg.Epoch, cfg.Span, cfg.ScanStep)
+		windowsCtr.Add(int64(len(windows[si][j])))
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	_, sp := telemetry.StartSpan(ctx, "sim.downlink")
+	sp.Sim(cfg.Epoch, cfg.Epoch.Add(cfg.Span))
 	res.Grants = link.Allocate(link.Problem{
 		Start:   cfg.Epoch,
 		Span:    cfg.Span,
@@ -202,6 +230,10 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		Windows: windows,
 	})
 	res.Served = link.PerSatServed(res.Grants, len(sats))
+	sp.Set("grants", fmt.Sprint(len(res.Grants)))
+	sp.End()
+	scope.Counter("grants").Add(int64(len(res.Grants)))
+	scope.Counter("runs").Inc()
 	return res, nil
 }
 

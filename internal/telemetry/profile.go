@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiling wires the standard Go profilers behind CLI flags: a CPU
+// profile streaming to cpuPath for the life of the run, and a heap
+// profile written to memPath at stop time (after a GC, so the snapshot
+// reflects live objects rather than garbage). Either path may be empty to
+// skip that profile. The returned stop function finalizes both files and
+// must be called exactly once; it reports the first error encountered.
+func StartProfiling(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("telemetry: mem profile: %w", err)
+				}
+				return firstErr
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("telemetry: mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+// WriteTraceFile writes the tracer's events as JSONL to path. A nil
+// tracer or empty path writes nothing.
+func WriteTraceFile(t *Tracer, path string) error {
+	if t == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: trace: %w", err)
+	}
+	if err := t.WriteJSONL(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry: trace: %w", err)
+	}
+	return nil
+}

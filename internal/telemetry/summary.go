@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PhaseStat aggregates every completed span sharing one name.
+type PhaseStat struct {
+	Name  string
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Summary is the end-of-run trace digest the CLIs print: per-phase wall
+// time (spans aggregated by name), total span counts, and the top-k
+// slowest individual spans.
+type Summary struct {
+	Phases  []PhaseStat
+	Slowest []SpanRecord
+	Spans   int
+	Dropped int64
+}
+
+// Summarize digests a tracer's completed spans. topK bounds the slowest
+// list (non-positive means 10).
+func Summarize(t *Tracer, topK int) Summary {
+	if topK <= 0 {
+		topK = 10
+	}
+	spans := t.Spans()
+	sum := Summary{Spans: len(spans), Dropped: t.Dropped()}
+
+	byName := make(map[string]*PhaseStat)
+	for _, s := range spans {
+		ps, ok := byName[s.Name]
+		if !ok {
+			ps = &PhaseStat{Name: s.Name}
+			byName[s.Name] = ps
+		}
+		ps.Count++
+		ps.Total += s.Dur
+		if s.Dur > ps.Max {
+			ps.Max = s.Dur
+		}
+	}
+	for _, ps := range byName {
+		sum.Phases = append(sum.Phases, *ps)
+	}
+	// Heaviest phase first; name breaks ties deterministically.
+	sort.Slice(sum.Phases, func(i, j int) bool {
+		if sum.Phases[i].Total != sum.Phases[j].Total {
+			return sum.Phases[i].Total > sum.Phases[j].Total
+		}
+		return sum.Phases[i].Name < sum.Phases[j].Name
+	})
+
+	slow := append([]SpanRecord(nil), spans...)
+	sort.Slice(slow, func(i, j int) bool {
+		if slow[i].Dur != slow[j].Dur {
+			return slow[i].Dur > slow[j].Dur
+		}
+		return slow[i].ID < slow[j].ID
+	})
+	if len(slow) > topK {
+		slow = slow[:topK]
+	}
+	sum.Slowest = slow
+	return sum
+}
+
+// Render formats the summary as the text report the CLIs print to stderr.
+func (s Summary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace summary: %d spans", s.Spans)
+	if s.Dropped > 0 {
+		fmt.Fprintf(&b, " (%d events dropped at buffer cap)", s.Dropped)
+	}
+	b.WriteString("\n")
+	if len(s.Phases) > 0 {
+		fmt.Fprintf(&b, "%-28s %8s %14s %14s %14s\n", "phase", "spans", "total", "mean", "max")
+		for _, p := range s.Phases {
+			mean := time.Duration(0)
+			if p.Count > 0 {
+				mean = p.Total / time.Duration(p.Count)
+			}
+			fmt.Fprintf(&b, "%-28s %8d %14v %14v %14v\n",
+				p.Name, p.Count, p.Total.Round(time.Microsecond),
+				mean.Round(time.Microsecond), p.Max.Round(time.Microsecond))
+		}
+	}
+	if len(s.Slowest) > 0 {
+		fmt.Fprintf(&b, "top %d slowest spans:\n", len(s.Slowest))
+		for _, r := range s.Slowest {
+			fmt.Fprintf(&b, "  %-28s %14v", r.Name, r.Dur.Round(time.Microsecond))
+			if len(r.Attrs) > 0 {
+				keys := make([]string, 0, len(r.Attrs))
+				for k := range r.Attrs {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					fmt.Fprintf(&b, " %s=%s", k, r.Attrs[k])
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
