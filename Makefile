@@ -2,7 +2,7 @@ GO ?= go
 SIZE ?= full
 PARALLEL ?= 0
 
-.PHONY: build test race verify bench fmt fmtcheck vet trace
+.PHONY: build test race verify bench bench-check fmt fmtcheck vet trace
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,16 @@ trace:
 bench:
 	$(GO) test -bench=. -benchmem
 	$(GO) run ./cmd/kodan-bench -size $(SIZE) -parallel $(PARALLEL) -json .
+
+# bench-check is the perf-regression gate: it reruns the benchmark suite,
+# records BENCH_*.json + BENCH_timings.json into the committed bench/
+# trajectory, and exits nonzero when any figure's wall time regressed
+# beyond the threshold vs the committed baseline. Overridable via
+# BENCH_SIZE / BENCH_ONLY / BENCH_THRESHOLD / BENCH_BASELINE (see the
+# script header); BENCH_THRESHOLD=-1 injects a synthetic regression to
+# prove the failure path.
+bench-check:
+	sh scripts/bench_compare.sh
 
 fmt:
 	gofmt -w .

@@ -7,6 +7,7 @@
 //
 //	kodan-bench [-size full|quick] [-parallel N] [-only table1,fig2,...] [-csv DIR] [-json DIR]
 //	            [-trace FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	            [-timings FILE] [-baseline FILE] [-regress-threshold 0.5] [-v]
 //
 // -parallel bounds the evaluation worker pool (0 = GOMAXPROCS, 1 =
 // sequential); every setting produces byte-identical output. -csv writes
@@ -19,6 +20,13 @@
 // -memprofile write pprof profiles. Telemetry goes to its files and
 // stderr only — stdout (the figures) stays byte-identical with or
 // without it, at every -parallel setting.
+//
+// -timings records per-figure wall times as a JSON timing report;
+// -baseline compares this run against a previously recorded report and
+// exits nonzero when any figure regressed beyond -regress-threshold (the
+// perf-regression gate `make bench-check` drives; bench/ holds the
+// committed trajectory). -v emits structured slog debug lines from the
+// instrumented layers to stderr.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -169,6 +178,10 @@ func main() {
 	traceFile := flag.String("trace", "", "write a JSONL span trace to this file and print a summary to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	timingsFile := flag.String("timings", "", "write this run's per-figure wall times as a timing report (JSON)")
+	baselineFile := flag.String("baseline", "", "compare per-figure wall times against this timing report and exit nonzero on a regression")
+	regressThreshold := flag.Float64("regress-threshold", 0.5, "with -baseline: fail when a figure is more than this fraction slower (0.5 = +50%)")
+	verbose := flag.Bool("v", false, "structured debug logs (slog) to stderr")
 	flag.Parse()
 
 	for _, dir := range []string{*csvDir, *jsonDir} {
@@ -190,6 +203,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *verbose {
+		ctx = telemetry.WithLogger(ctx, slog.New(slog.NewTextHandler(os.Stderr,
+			&slog.HandlerOptions{Level: slog.LevelDebug})))
+	}
 
 	stopProfile, err := telemetry.StartProfiling(*cpuProfile, *memProfile)
 	if err != nil {
@@ -240,16 +258,19 @@ func main() {
 		}
 	}
 
+	report := experiments.TimingReport{Size: *sizeFlag, Parallel: *parallelFlag}
 	for _, g := range gens {
 		t0 := time.Now()
 		out, rows, err := g.gen(ctx)
 		if err != nil {
 			log.Fatalf("%s: %v", g.key, err)
 		}
+		took := time.Since(t0)
 		fmt.Println(out)
 		writeCSV(g.key, rows)
 		writeJSON(g.key, rows)
-		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", g.key, time.Since(t0).Round(time.Millisecond))
+		report.Figures = append(report.Figures, experiments.FigureTiming{Key: g.key, WallSeconds: took.Seconds()})
+		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", g.key, took.Round(time.Millisecond))
 	}
 
 	fmt.Fprintf(os.Stderr, "total: %v\n", time.Since(start).Round(time.Millisecond))
@@ -263,4 +284,42 @@ func main() {
 		}
 		fmt.Fprint(os.Stderr, telemetry.Summarize(tracer, 10).Render())
 	}
+
+	if *timingsFile != "" {
+		f, err := os.Create(*timingsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.WriteTimingReport(f, report); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *baselineFile != "" {
+		rendered, failed, err := checkBaseline(*baselineFile, report, *regressThreshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprint(os.Stderr, rendered)
+		if failed {
+			os.Exit(1)
+		}
+	}
+}
+
+// checkBaseline compares this run's timing report against the baseline
+// file. It returns the rendered comparison and whether the run regressed.
+func checkBaseline(path string, current experiments.TimingReport, threshold float64) (string, bool, error) {
+	baseline, err := experiments.ReadTimingReport(path)
+	if err != nil {
+		return "", false, err
+	}
+	regressions, skipped, err := experiments.CompareTimings(baseline, current, threshold)
+	if err != nil {
+		return "", false, err
+	}
+	return experiments.RenderTimingComparison(regressions, skipped, threshold), len(regressions) > 0, nil
 }

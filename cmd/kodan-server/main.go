@@ -7,7 +7,7 @@
 // Usage:
 //
 //	kodan-server [-addr :8080] [-seed 2023] [-frames 120] [-workers 2] [-queue 8] [-timeout 120s]
-//	             [-debug-addr :6060]
+//	             [-debug-addr :6060] [-sample 1s] [-trace FILE] [-log text|json]
 //
 // Endpoints:
 //
@@ -18,13 +18,24 @@
 //	GET  /healthz | /readyz | /metrics                     ops
 //
 // -debug-addr serves the Go diagnostics surface on a second listener —
-// /debug/pprof/* (CPU, heap, goroutine, block profiles) and /debug/vars
+// /debug/pprof/* (CPU, heap, goroutine, block profiles), /debug/vars
 // (expvar, including the server's full metrics snapshot under
-// "kodan.metrics") — kept off the public address so profiling endpoints
-// are never exposed to API clients.
+// "kodan.metrics"), and the flight-recorder surface: /debug/dash (live
+// ops dashboard, self-contained HTML over SSE), /debug/dash/stream (the
+// SSE sample feed), and /debug/recorder (JSON export of the retained
+// time-series window). The debug port binds synchronously at startup and
+// a bind failure is a fatal, clearly logged error — not a background
+// goroutine loss. All of it is kept off the public address so profiling
+// endpoints are never exposed to API clients.
+//
+// Every request is issued a request ID (X-Request-ID, reused from a
+// well-formed inbound header), stamped on the structured logs and on the
+// spans recorded under -trace, so one /plan request correlates across its
+// log lines and its pool-wait/transform/sim spans.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown that drains in-flight
-// requests (bounded by -drain).
+// requests (bounded by -drain). With -trace, the JSONL span trace is
+// written at exit.
 package main
 
 import (
@@ -32,7 +43,8 @@ import (
 	"errors"
 	"expvar"
 	"flag"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
 	"os"
@@ -42,11 +54,11 @@ import (
 
 	"kodan"
 	"kodan/internal/server"
+	"kodan/internal/telemetry"
+	"kodan/internal/telemetry/recorder"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("kodan-server: ")
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Uint64("seed", 2023, "default transformation seed")
 	frames := flag.Int("frames", 120, "representative dataset size in frames")
@@ -54,9 +66,29 @@ func main() {
 	queue := flag.Int("queue", 8, "transform wait-queue depth (beyond this: 429)")
 	timeout := flag.Duration("timeout", 120*time.Second, "per-request processing ceiling")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (empty = disabled)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars, and /debug/dash on this address (empty = disabled)")
+	sample := flag.Duration("sample", time.Second, "flight-recorder sampling interval")
+	traceFile := flag.String("trace", "", "write a JSONL span trace to this file at shutdown")
+	logFormat := flag.String("log", "text", "log output format: text or json")
 	verbose := flag.Bool("v", true, "log one line per request")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		slog.Error("unknown -log format", "format", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler).With("component", "kodan-server")
+
+	var tracer *telemetry.Tracer
+	if *traceFile != "" {
+		tracer = telemetry.NewTracer(0)
+	}
 
 	cfg := server.Config{
 		Seed:       *seed,
@@ -68,48 +100,89 @@ func main() {
 			c.Frames = *frames
 			return c
 		},
+		Tracer: tracer,
 	}
 	if *verbose {
-		cfg.Logf = log.Printf
+		cfg.Logger = logger
 	}
 	srv := server.New(cfg)
 
+	// The flight recorder samples the server's shared registry for the
+	// whole process lifetime; the dashboard and JSON export read it.
+	rec := recorder.New(srv.Registry(), recorder.Options{Interval: *sample})
+	rec.Start()
+	defer rec.Stop()
+
 	if *debugAddr != "" {
+		// Bind synchronously so a taken port is a clear startup failure
+		// instead of a background goroutine's log line (or silence).
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Error("debug listener failed to bind", "addr", *debugAddr, "err", err)
+			os.Exit(1)
+		}
 		// net/http/pprof and expvar both register on DefaultServeMux;
 		// publishing the snapshot here folds the full /metrics document
 		// (request counters, cache, pool, telemetry registry) into
-		// /debug/vars.
+		// /debug/vars. The flight-recorder surface rides the same mux.
 		expvar.Publish("kodan.metrics", expvar.Func(func() interface{} { return srv.Metrics() }))
+		http.Handle("/debug/dash", rec.PageHandler("kodan-server ops", "/debug/dash/stream"))
+		http.Handle("/debug/dash/stream", rec.StreamHandler())
+		http.HandleFunc("/debug/recorder", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			rec.WriteJSON(w, time.Time{}) //nolint:errcheck // connection owns delivery
+		})
+		logger.Info("debug listener started", "addr", dl.Addr().String())
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
-				log.Printf("debug listener: %v", err)
+			if err := http.Serve(dl, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Error("debug listener stopped", "err", err)
 			}
 		}()
+		defer dl.Close()
 	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe(*addr) }()
 	m := srv.Metrics()
-	log.Printf("started addr=%s seed=%d workers=%d queue=%d timeout=%v cache_entries=%d debug_addr=%q",
-		*addr, *seed, *workers, *queue, *timeout, m.Cache.Entries, *debugAddr)
+	logger.Info("started",
+		"addr", *addr, "seed", *seed, "workers", *workers, "queue", *queue,
+		"timeout", timeout.String(), "cache_entries", m.Cache.Entries,
+		"debug_addr", *debugAddr, "sample", sample.String())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 
+	exitCode := 0
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			logger.Error("serve failed", "err", err)
+			exitCode = 1
 		}
 	case sig := <-sigCh:
-		log.Printf("stopping signal=%v drain_budget=%v", sig, *drain)
+		logger.Info("stopping", "signal", sig.String(), "drain_budget", drain.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
-		defer cancel()
 		drainStart := time.Now()
-		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("stopped drained=false drain=%v err=%v", time.Since(drainStart).Round(time.Millisecond), err)
-			os.Exit(1)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			logger.Error("stopped", "drained", false, "drainMs", time.Since(drainStart).Milliseconds(), "err", err)
+			exitCode = 1
+		} else {
+			logger.Info("stopped", "drained", true, "drainMs", time.Since(drainStart).Milliseconds())
 		}
-		log.Printf("stopped drained=true drain=%v", time.Since(drainStart).Round(time.Millisecond))
 	}
+
+	rec.Stop()
+	if tracer != nil {
+		if werr := telemetry.WriteTraceFile(tracer, *traceFile); werr != nil {
+			logger.Error("trace write failed", "err", werr)
+			if exitCode == 0 {
+				exitCode = 1
+			}
+		} else {
+			logger.Info("trace written", "file", *traceFile, "dropped", tracer.Dropped())
+		}
+	}
+	os.Exit(exitCode)
 }

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +42,7 @@ func main() {
 	planes := flag.Int("planes", 1, "orbital planes")
 	camera := flag.String("camera", "ms", "payload: ms (multispectral) or hyper")
 	parallel := flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	verbose := flag.Bool("v", false, "structured debug logs (slog) to stderr")
 	traceFile := flag.String("trace", "", "write a JSONL span trace to this file and print a summary to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -60,6 +62,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *verbose {
+		ctx = telemetry.WithLogger(ctx, slog.New(slog.NewTextHandler(os.Stderr,
+			&slog.HandlerOptions{Level: slog.LevelDebug})))
+	}
 
 	stopProfile, err := telemetry.StartProfiling(*cpuProfile, *memProfile)
 	if err != nil {

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file is the comparison half of the perf-regression harness:
+// kodan-bench records one FigureTiming per generated table/figure into a
+// TimingReport (bench/BENCH_timings.json is the committed trajectory),
+// and CompareTimings judges a fresh run against a baseline report,
+// flagging every figure whose wall time grew beyond a threshold. The
+// harness answers "did this PR make the hot path slower?" mechanically —
+// `make bench-check` exits nonzero on a regression.
+
+// FigureTiming is one figure's recorded wall time.
+type FigureTiming struct {
+	Key         string  `json:"key"`
+	WallSeconds float64 `json:"wallSeconds"`
+}
+
+// TimingReport is the timing document of one kodan-bench run.
+type TimingReport struct {
+	// Size and Parallel pin the run shape; comparing reports produced at
+	// different shapes is meaningless and CompareTimings refuses it.
+	Size     string         `json:"size"`
+	Parallel int            `json:"parallel"`
+	Figures  []FigureTiming `json:"figures"`
+}
+
+// WriteTimingReport serializes the report as indented JSON.
+func WriteTimingReport(w io.Writer, r TimingReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadTimingReport loads a report written by WriteTimingReport.
+func ReadTimingReport(path string) (TimingReport, error) {
+	var r TimingReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, fmt.Errorf("experiments: timing baseline: %w", err)
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("experiments: timing baseline %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Regression is one figure whose wall time grew past the threshold.
+type Regression struct {
+	Key      string
+	Baseline float64 // seconds (before flooring)
+	Current  float64 // seconds (before flooring)
+	// Ratio is floored current over floored baseline — the number the
+	// threshold was applied to.
+	Ratio float64
+}
+
+// timingFloorSeconds absorbs scheduler jitter on near-instant figures:
+// both sides of a comparison are floored here before the ratio is taken,
+// so a table that renders in 80µs one run and 300µs the next never trips
+// the gate.
+const timingFloorSeconds = 0.05
+
+// CompareTimings flags every figure in current whose (floored) wall time
+// exceeds the (floored) baseline by more than threshold — threshold 0.5
+// means "more than 50% slower fails". Figures present on only one side
+// are reported in skipped, never judged. A negative threshold fails every
+// compared figure (the synthetic-regression switch the harness tests use).
+// Mismatched run shapes (size/parallel) are an error.
+func CompareTimings(baseline, current TimingReport, threshold float64) (regressions []Regression, skipped []string, err error) {
+	if baseline.Size != current.Size || baseline.Parallel != current.Parallel {
+		return nil, nil, fmt.Errorf(
+			"experiments: timing reports have different shapes: baseline size=%s parallel=%d vs current size=%s parallel=%d",
+			baseline.Size, baseline.Parallel, current.Size, current.Parallel)
+	}
+	base := make(map[string]float64, len(baseline.Figures))
+	for _, f := range baseline.Figures {
+		base[f.Key] = f.WallSeconds
+	}
+	seen := make(map[string]bool, len(current.Figures))
+	for _, f := range current.Figures {
+		seen[f.Key] = true
+		b, ok := base[f.Key]
+		if !ok {
+			skipped = append(skipped, f.Key+" (not in baseline)")
+			continue
+		}
+		fb, fc := b, f.WallSeconds
+		if fb < timingFloorSeconds {
+			fb = timingFloorSeconds
+		}
+		if fc < timingFloorSeconds {
+			fc = timingFloorSeconds
+		}
+		if fc > fb*(1+threshold) {
+			regressions = append(regressions, Regression{
+				Key: f.Key, Baseline: b, Current: f.WallSeconds, Ratio: fc / fb,
+			})
+		}
+	}
+	for _, f := range baseline.Figures {
+		if !seen[f.Key] {
+			skipped = append(skipped, f.Key+" (not in current run)")
+		}
+	}
+	sort.Slice(regressions, func(i, j int) bool { return regressions[i].Ratio > regressions[j].Ratio })
+	sort.Strings(skipped)
+	return regressions, skipped, nil
+}
+
+// RenderTimingComparison formats a comparison outcome for stderr.
+func RenderTimingComparison(regressions []Regression, skipped []string, threshold float64) string {
+	var b strings.Builder
+	if len(regressions) == 0 {
+		fmt.Fprintf(&b, "bench-check: no regressions beyond %.0f%% threshold\n", threshold*100)
+	} else {
+		fmt.Fprintf(&b, "bench-check: %d figure(s) regressed beyond %.0f%% threshold:\n", len(regressions), threshold*100)
+		for _, r := range regressions {
+			fmt.Fprintf(&b, "  %-16s baseline %8.3fs -> current %8.3fs (%.2fx)\n",
+				r.Key, r.Baseline, r.Current, r.Ratio)
+		}
+	}
+	for _, s := range skipped {
+		fmt.Fprintf(&b, "  skipped: %s\n", s)
+	}
+	return b.String()
+}

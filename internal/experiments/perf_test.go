@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(size string, parallel int, timings map[string]float64) TimingReport {
+	r := TimingReport{Size: size, Parallel: parallel}
+	// Deterministic order keeps failures readable.
+	for _, key := range []string{"table1", "fig2", "fig8"} {
+		if s, ok := timings[key]; ok {
+			r.Figures = append(r.Figures, FigureTiming{Key: key, WallSeconds: s})
+		}
+	}
+	return r
+}
+
+func TestTimingReportRoundTrip(t *testing.T) {
+	in := report("quick", 2, map[string]float64{"table1": 0.0001, "fig2": 1.5})
+	var buf bytes.Buffer
+	if err := WriteTimingReport(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "timings.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTimingReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size != "quick" || out.Parallel != 2 || len(out.Figures) != 2 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+	if out.Figures[1].Key != "fig2" || out.Figures[1].WallSeconds != 1.5 {
+		t.Fatalf("figure mangled: %+v", out.Figures[1])
+	}
+}
+
+func TestCompareTimingsFlagsRegressions(t *testing.T) {
+	baseline := report("quick", 0, map[string]float64{"table1": 0.1, "fig2": 1.0, "fig8": 2.0})
+	current := report("quick", 0, map[string]float64{"fig2": 1.2, "fig8": 4.0})
+	regs, skipped, err := CompareTimings(baseline, current, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 1 || !strings.Contains(skipped[0], "table1") {
+		t.Errorf("skipped = %v, want table1 (baseline-only)", skipped)
+	}
+	// fig2 grew 20% (under threshold); fig8 doubled (over).
+	if len(regs) != 1 || regs[0].Key != "fig8" {
+		t.Fatalf("regressions = %+v, want exactly fig8", regs)
+	}
+	if regs[0].Ratio < 1.9 || regs[0].Ratio > 2.1 {
+		t.Errorf("fig8 ratio = %v, want ~2.0", regs[0].Ratio)
+	}
+}
+
+// TestCompareTimingsFloorsJitter: figures faster than the floor on both
+// sides never regress, no matter the relative jitter — an 80µs table
+// "tripling" to 240µs is noise, not a regression.
+func TestCompareTimingsFloorsJitter(t *testing.T) {
+	baseline := report("quick", 0, map[string]float64{"table1": 0.00008})
+	current := report("quick", 0, map[string]float64{"table1": 0.00024})
+	regs, _, err := CompareTimings(baseline, current, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("sub-floor jitter flagged as regression: %+v", regs)
+	}
+
+	// But a genuinely slow current against a sub-floor baseline does trip:
+	// the baseline is floored UP to 50ms, and 0.2s is 4x that.
+	current = report("quick", 0, map[string]float64{"table1": 0.2})
+	regs, _, err = CompareTimings(baseline, current, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("4x-over-floor slowdown not flagged: %+v", regs)
+	}
+}
+
+// TestCompareTimingsNegativeThresholdInjectsRegression: a negative
+// threshold makes every compared figure fail — the synthetic-regression
+// switch the harness's own gate test uses to prove the nonzero-exit path
+// without actually slowing anything down.
+func TestCompareTimingsNegativeThreshold(t *testing.T) {
+	same := report("quick", 0, map[string]float64{"fig2": 1.0, "fig8": 2.0})
+	regs, _, err := CompareTimings(same, same, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("negative threshold flagged %d figures, want all 2", len(regs))
+	}
+}
+
+func TestCompareTimingsShapeMismatch(t *testing.T) {
+	a := report("quick", 0, map[string]float64{"fig2": 1})
+	for _, b := range []TimingReport{
+		report("full", 0, map[string]float64{"fig2": 1}),
+		report("quick", 4, map[string]float64{"fig2": 1}),
+	} {
+		if _, _, err := CompareTimings(a, b, 0.5); err == nil {
+			t.Errorf("shape mismatch (%s/p%d vs %s/p%d) not rejected", a.Size, a.Parallel, b.Size, b.Parallel)
+		}
+	}
+}
+
+func TestCompareTimingsSortsWorstFirst(t *testing.T) {
+	baseline := report("quick", 0, map[string]float64{"fig2": 1.0, "fig8": 1.0})
+	current := report("quick", 0, map[string]float64{"fig2": 2.0, "fig8": 5.0})
+	regs, _, err := CompareTimings(baseline, current, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 || regs[0].Key != "fig8" {
+		t.Fatalf("regressions not sorted worst-first: %+v", regs)
+	}
+}
+
+func TestRenderTimingComparison(t *testing.T) {
+	out := RenderTimingComparison(nil, nil, 0.5)
+	if !strings.Contains(out, "no regressions") {
+		t.Errorf("clean render = %q", out)
+	}
+	out = RenderTimingComparison(
+		[]Regression{{Key: "fig8", Baseline: 2, Current: 4, Ratio: 2}},
+		[]string{"fig9 (not in current run)"}, 0.5)
+	for _, want := range []string{"fig8", "2.00x", "fig9", "skipped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadTimingReportErrors(t *testing.T) {
+	if _, err := ReadTimingReport(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing baseline file not an error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTimingReport(bad); err == nil {
+		t.Error("malformed baseline not an error")
+	}
+}

@@ -3,6 +3,8 @@ package server
 import (
 	"context"
 	"sync"
+
+	"kodan/internal/telemetry"
 )
 
 // CacheSource says how a cache lookup was served.
@@ -46,11 +48,15 @@ func (s CacheSource) String() string {
 type Cache struct {
 	base context.Context
 
+	// Lookup outcomes live in the shared telemetry registry (scope
+	// "server.cache") so the flight recorder and dashboard see hit-rate
+	// time series, not just the cumulative totals /metrics reports.
+	hits   *telemetry.Counter
+	misses *telemetry.Counter
+	joins  *telemetry.Counter
+
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
-	hits    int64
-	misses  int64
-	joins   int64
 }
 
 type cacheEntry struct {
@@ -64,15 +70,21 @@ type cacheEntry struct {
 
 // NewCache returns a cache whose computations are bounded by base: when
 // base is cancelled (server shutdown), every in-flight computation is too.
-func NewCache(base context.Context) *Cache {
-	return &Cache{base: base, entries: make(map[string]*cacheEntry)}
+// Lookup-outcome counters are created in scope (nil scope means they are
+// no-ops and Stats reads zeros).
+func NewCache(base context.Context, scope *telemetry.Scope) *Cache {
+	return &Cache{
+		base:    base,
+		hits:    scope.Counter("hits"),
+		misses:  scope.Counter("misses"),
+		joins:   scope.Counter("joins"),
+		entries: make(map[string]*cacheEntry),
+	}
 }
 
 // Stats returns cumulative hit/miss/join counts.
 func (c *Cache) Stats() (hits, misses, joins int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.joins
+	return c.hits.Load(), c.misses.Load(), c.joins.Load()
 }
 
 // Len returns the number of completed entries plus in-flight computations.
@@ -91,20 +103,24 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(context.Context) (in
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		if e.completed {
-			c.hits++
+			c.hits.Inc()
 			c.mu.Unlock()
 			return e.val, CacheHit, e.err
 		}
 		e.waiters++
-		c.joins++
+		c.joins.Inc()
 		c.mu.Unlock()
 		return c.wait(ctx, key, e, CacheJoin)
 	}
 
 	cctx, cancel := context.WithCancel(c.base)
+	// The computation is detached from the leader's cancellation (it
+	// belongs to every waiter), but keeps the leader's identity: its spans
+	// parent under the leader's request span and carry its request ID.
+	cctx = telemetry.PropagateTelemetry(ctx, cctx)
 	e := &cacheEntry{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	c.entries[key] = e
-	c.misses++
+	c.misses.Inc()
 	c.mu.Unlock()
 
 	go func() {

@@ -13,6 +13,7 @@ import (
 
 	"kodan"
 	"kodan/internal/sim"
+	"kodan/internal/telemetry"
 )
 
 // planRequest is the /v1/plan and /v1/transform request body (transform
@@ -135,9 +136,12 @@ func (s *Server) application(ctx context.Context, seed uint64, appIndex int) (*k
 	key := fmt.Sprintf("app|%d|%d", seed, appIndex)
 	v, src, err := s.cache.Do(ctx, key, func(cctx context.Context) (interface{}, error) {
 		enqueued := time.Now()
+		_, waitSp := telemetry.StartSpan(cctx, "server.pool_wait")
 		if err := s.pool.Acquire(cctx); err != nil {
+			waitSp.End()
 			return nil, err
 		}
+		waitSp.End()
 		defer s.pool.Release()
 		s.metrics.PoolAcquired(time.Since(enqueued), s.pool.Stats().InFlight)
 		sys, _, err := s.system(cctx, seed)
@@ -146,7 +150,10 @@ func (s *Server) application(ctx context.Context, seed uint64, appIndex int) (*k
 		}
 		s.metrics.TransformStarted()
 		start := time.Now()
-		app, err := s.cfg.Transform(cctx, sys, appIndex)
+		tctx, trSp := telemetry.StartSpan(cctx, "server.transform")
+		trSp.Set("app", fmt.Sprint(appIndex))
+		app, err := s.cfg.Transform(tctx, sys, appIndex)
+		trSp.End()
 		cancelled := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 		s.metrics.TransformDone(time.Since(start), err, cancelled)
 		return app, err

@@ -77,6 +77,9 @@ func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
 
 // Observe records one served request.
 func (m *Metrics) Observe(route string, status int, d time.Duration) {
+	// Registry-side counter so the flight recorder sees request rate as a
+	// time series (the reservoir below only answers point-in-time).
+	m.reg.Counter("server.http.requests" + route).Inc()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rs, ok := m.routes[route]

@@ -29,8 +29,10 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"regexp"
 	"sync/atomic"
 	"time"
 
@@ -70,8 +72,18 @@ type Config struct {
 	// the reproduction's reference epoch); fixing it keeps every
 	// response deterministic for a given request.
 	SimEpoch time.Time
-	// Logf, when set, receives one line per served request.
+	// Logf, when set, receives one line per served request. Superseded by
+	// Logger; kept for callers that only want printf-style lines.
 	Logf func(format string, args ...interface{})
+	// Logger, when set, receives structured request logs (one record per
+	// served request, carrying the request ID) and lifecycle events, and
+	// is threaded through request contexts so the layers below can log
+	// with the same correlation fields.
+	Logger *slog.Logger
+	// Tracer, when set, records a span per request plus the pool-wait,
+	// transform, and simulation spans underneath, each annotated with the
+	// request ID that triggered the work.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +124,8 @@ type Server struct {
 	cache   *Cache
 	pool    *Pool
 	metrics *Metrics
+	probe   telemetry.Probe
+	logger  *slog.Logger
 
 	handler http.Handler
 	httpSrv *http.Server
@@ -123,24 +137,37 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	metrics := NewMetrics(cfg.MetricsWindow, nil)
+	probe := telemetry.Probe{Metrics: metrics.Registry(), Trace: cfg.Tracer}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	base, cancel := context.WithCancel(context.Background())
 	// Cached computations derive their contexts from base, so the probe
 	// installed here makes every transform, simulation, and policy sweep
 	// record into the server's registry — their per-stage counters and
 	// histograms surface in /metrics alongside the serving counters.
-	base = telemetry.WithProbe(base, telemetry.Probe{Metrics: metrics.Registry()})
+	base = telemetry.WithProbe(base, probe)
+	base = telemetry.WithLogger(base, logger)
 	s := &Server{
 		cfg:        cfg,
 		baseCtx:    base,
 		baseCancel: cancel,
-		cache:      NewCache(base),
+		cache:      NewCache(base, metrics.Registry().Scope("server.cache")),
 		pool:       NewPool(cfg.Workers, cfg.QueueDepth),
 		metrics:    metrics,
+		probe:      probe,
+		logger:     logger,
 	}
 	s.handler = s.routes()
 	s.httpSrv = &http.Server{Handler: s.handler}
 	return s
 }
+
+// Registry exposes the server's shared telemetry registry, so callers
+// (the flight recorder, the debug listener) can sample or export the same
+// collector /metrics serves.
+func (s *Server) Registry() *telemetry.Registry { return s.metrics.Registry() }
 
 // Handler returns the server's HTTP handler (for httptest and embedding).
 func (s *Server) Handler() http.Handler { return s.handler }
@@ -170,8 +197,11 @@ func (s *Server) Serve(l net.Listener) error {
 // drain (e.g. a cached transform with no remaining waiter) is cancelled.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.logger.Info("drain started")
+	start := time.Now()
 	err := s.httpSrv.Shutdown(ctx)
 	s.baseCancel()
+	s.logger.Info("drain finished", "drainMs", time.Since(start).Milliseconds(), "clean", err == nil)
 	return err
 }
 
@@ -196,11 +226,33 @@ func (s *Server) routes() http.Handler {
 	return mux
 }
 
+// requestIDPattern is what an inbound X-Request-ID must match to be
+// reused; anything else (or nothing) gets a freshly minted ID, so log
+// injection via the header is impossible and IDs stay greppable.
+var requestIDPattern = regexp.MustCompile(`^[A-Za-z0-9_.-]{1,64}$`)
+
 // instrument wraps a handler with panic recovery, latency/status
-// accounting, and optional logging.
+// accounting, request-ID issuance, span tracing, and structured logging.
+// The request ID — reused from a well-formed inbound X-Request-ID or
+// minted here — is echoed in the X-Request-ID response header, stamped on
+// the request's slog records, and carried by the context so every span
+// started beneath (pool wait, transform, simulation) annotates itself
+// with it.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := r.Header.Get("X-Request-ID")
+		if !requestIDPattern.MatchString(reqID) {
+			reqID = telemetry.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+
+		ctx := telemetry.WithProbe(r.Context(), s.probe)
+		ctx = telemetry.WithRequestID(ctx, reqID)
+		ctx = telemetry.WithLogger(ctx, s.logger)
+		ctx, span := telemetry.StartSpan(ctx, "http."+route)
+		r = r.WithContext(ctx)
+
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -210,6 +262,15 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 			}
 			d := time.Since(start)
 			s.metrics.Observe(route, sw.status, d)
+			span.Set("status", fmt.Sprint(sw.status))
+			span.End()
+			s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.String(telemetry.RequestIDAttr, reqID),
+				slog.String("method", r.Method),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Int64("durMs", d.Milliseconds()),
+			)
 			if s.cfg.Logf != nil {
 				s.cfg.Logf("%s %s -> %d in %v", r.Method, r.URL.Path, sw.status, d.Round(time.Millisecond))
 			}

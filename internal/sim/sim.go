@@ -151,6 +151,11 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	span.Sim(cfg.Epoch, cfg.Epoch.Add(cfg.Span))
 	span.Set("sats", fmt.Sprint(cfg.Satellites))
 	scope := telemetry.ProbeFrom(ctx).Metrics.Scope("sim")
+	logger := telemetry.LoggerFrom(ctx)
+	logStart := time.Now()
+	logger.Debug("sim started",
+		"sats", cfg.Satellites, "planes", cfg.Planes,
+		"spanHours", cfg.Span.Hours(), "workers", parallel.Workers(cfg.Workers))
 
 	var sats []orbit.Elements
 	switch {
@@ -234,6 +239,16 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	sp.End()
 	scope.Counter("grants").Add(int64(len(res.Grants)))
 	scope.Counter("runs").Inc()
+	// Downlink utilization — downlinkable frames over observed frames —
+	// is the contact-side number the ops dashboard tracks; recording it
+	// reads the finished result and cannot influence it.
+	observed := res.FramesObserved()
+	if observed > 0 {
+		scope.Histogram("downlink_utilization").Observe(res.FrameCapacity() / float64(observed))
+	}
+	logger.Debug("sim finished",
+		"frames", observed, "grants", len(res.Grants),
+		"wallMs", time.Since(logStart).Milliseconds())
 	return res, nil
 }
 

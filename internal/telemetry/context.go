@@ -59,6 +59,11 @@ func SpanFrom(ctx context.Context) *Span {
 //
 //	ctx, sp := telemetry.StartSpan(ctx, "sim.run")
 //	defer sp.End()
+//
+// When the context carries a request ID (serving middleware mints one per
+// request), the span is automatically annotated with it, so every span
+// under a request — pool wait, transform, simulation — is correlatable
+// with the request's slog lines.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	tr := ProbeFrom(ctx).Trace
 	if tr == nil {
@@ -69,6 +74,9 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		sp = parent.Child(name)
 	} else {
 		sp = tr.Begin(name)
+	}
+	if id := RequestIDFrom(ctx); id != "" {
+		sp.Set(RequestIDAttr, id)
 	}
 	return WithSpan(ctx, sp), sp
 }

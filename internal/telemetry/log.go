@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+)
+
+// This file carries the structured-logging half of the observability
+// plane: a *slog.Logger rides the context next to the Probe, and a
+// request ID — minted once at the serving edge — rides along with both so
+// one /plan request can be correlated across its slog lines and its
+// spans (pool wait, transform, simulation) in the JSONL trace.
+
+type logCtxKey int
+
+const (
+	loggerKey logCtxKey = iota
+	requestIDKey
+)
+
+// nopLogger discards everything; LoggerFrom returns it when no logger is
+// attached so instrumented code never branches on "is logging on".
+var nopLogger = slog.New(slog.DiscardHandler)
+
+// WithLogger attaches a structured logger to the context. A nil logger
+// leaves the context unchanged.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// LoggerFrom returns the context's logger, or a no-op logger when none is
+// attached — never nil, so callers log unconditionally.
+func LoggerFrom(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return nopLogger
+}
+
+// RequestIDAttr is the attribute key under which the request ID appears
+// on slog records and span annotations; sharing one constant keeps log
+// and trace correlation greppable by the same string.
+const RequestIDAttr = "requestId"
+
+// NewRequestID mints a 16-hex-char random request ID. IDs are for
+// correlation only — they never feed into any computation, so drawing
+// from crypto/rand here does not perturb the repository's deterministic
+// seeded paths.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// rand.Read failing means the platform entropy source is broken;
+		// correlation degrades to a fixed sentinel rather than the request
+		// failing.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID attaches a request ID to the context. Spans started below
+// (StartSpan) automatically annotate themselves with it, and serving
+// middleware puts the same ID on its slog lines, so the two telemetry
+// streams join on the ID. An empty ID leaves the context unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom returns the context's request ID ("" when none).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// PropagateTelemetry copies the correlation state — current span and
+// request ID — from one context onto another. The single-flight cache
+// detaches computations from the leader request's cancellation by running
+// them on the server's base context; this carries the leader's identity
+// across that detach so the computation's spans still parent under (and
+// carry the request ID of) the request that triggered them.
+func PropagateTelemetry(from, to context.Context) context.Context {
+	if sp := SpanFrom(from); sp != nil {
+		to = WithSpan(to, sp)
+	}
+	if id := RequestIDFrom(from); id != "" {
+		to = WithRequestID(to, id)
+	}
+	return to
+}

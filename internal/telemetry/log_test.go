@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"regexp"
+	"testing"
+)
+
+func TestLoggerFromNeverNil(t *testing.T) {
+	ctx := context.Background()
+	l := LoggerFrom(ctx)
+	if l == nil {
+		t.Fatal("LoggerFrom on a bare context returned nil")
+	}
+	l.Info("must not panic or write anywhere")
+
+	var buf bytes.Buffer
+	real := slog.New(slog.NewJSONHandler(&buf, nil))
+	ctx = WithLogger(ctx, real)
+	LoggerFrom(ctx).Info("hello")
+	if buf.Len() == 0 {
+		t.Fatal("attached logger did not receive the record")
+	}
+
+	// Nil logger leaves the existing attachment in place.
+	buf.Reset()
+	ctx = WithLogger(ctx, nil)
+	LoggerFrom(ctx).Info("still routed")
+	if buf.Len() == 0 {
+		t.Fatal("WithLogger(nil) clobbered the attached logger")
+	}
+}
+
+func TestNewRequestIDFormat(t *testing.T) {
+	pat := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if !pat.MatchString(id) {
+			t.Fatalf("request ID %q is not 16 lowercase hex chars", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("collisions in 100 request IDs: %d unique", len(seen))
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if RequestIDFrom(ctx) != "" {
+		t.Fatal("bare context should carry no request ID")
+	}
+	ctx = WithRequestID(ctx, "abc123")
+	if got := RequestIDFrom(ctx); got != "abc123" {
+		t.Fatalf("RequestIDFrom = %q, want abc123", got)
+	}
+	// Empty ID leaves the context unchanged.
+	if got := RequestIDFrom(WithRequestID(ctx, "")); got != "abc123" {
+		t.Fatalf("WithRequestID(\"\") clobbered the ID: %q", got)
+	}
+}
+
+// TestStartSpanAttachesRequestID: spans started under a request-ID context
+// carry the ID as an attribute, which is what joins the JSONL trace to the
+// slog stream.
+func TestStartSpanAttachesRequestID(t *testing.T) {
+	tr := NewTracer(0)
+	ctx := WithProbe(context.Background(), Probe{Trace: tr})
+	ctx = WithRequestID(ctx, "deadbeef00000000")
+
+	_, sp := StartSpan(ctx, "work")
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var ev map[string]interface{}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		if attrs, ok := ev["attrs"].(map[string]interface{}); ok {
+			if attrs[RequestIDAttr] == "deadbeef00000000" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no trace event carries %s=deadbeef00000000:\n%s", RequestIDAttr, buf.String())
+	}
+}
+
+// TestPropagateTelemetry: the cache's context detach keeps the leader's
+// span parentage and request ID while dropping its cancellation.
+func TestPropagateTelemetry(t *testing.T) {
+	tr := NewTracer(0)
+	reqCtx := WithProbe(context.Background(), Probe{Trace: tr})
+	reqCtx = WithRequestID(reqCtx, "feedface00000000")
+	reqCtx, parent := StartSpan(reqCtx, "request")
+	defer parent.End()
+
+	reqCtx, cancelReq := context.WithCancel(reqCtx)
+	base := WithProbe(context.Background(), Probe{Trace: tr})
+	detached := PropagateTelemetry(reqCtx, base)
+	cancelReq()
+
+	if detached.Err() != nil {
+		t.Fatal("detached context inherited the request's cancellation")
+	}
+	if got := RequestIDFrom(detached); got != "feedface00000000" {
+		t.Fatalf("request ID not propagated: %q", got)
+	}
+	if SpanFrom(detached) != parent {
+		t.Fatal("span not propagated across the detach")
+	}
+
+	// A child started on the detached context parents under the request
+	// span and carries its ID.
+	_, child := StartSpan(detached, "transform")
+	child.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Begin events carry the name, end events the attrs; join them on ID.
+	names := make(map[int64]string)
+	var sawChild bool
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var ev struct {
+			Ev     string            `json:"ev"`
+			ID     int64             `json:"id"`
+			Name   string            `json:"name"`
+			Parent int64             `json:"parent"`
+			Attrs  map[string]string `json:"attrs"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Ev == "b" {
+			names[ev.ID] = ev.Name
+		}
+		if ev.Ev == "e" && names[ev.ID] == "transform" &&
+			ev.Attrs[RequestIDAttr] == "feedface00000000" && ev.Parent != 0 {
+			sawChild = true
+		}
+	}
+	if !sawChild {
+		t.Errorf("detached child span missing parent link or request ID:\n%s", buf.String())
+	}
+}

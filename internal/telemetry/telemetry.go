@@ -231,6 +231,57 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return math.Float64frombits(h.maxBits.Load())
 }
 
+// BucketCounts returns a copy of the cumulative per-bucket sample counts
+// (nil on a nil histogram). Bucket i's exclusive upper bound is
+// BucketUpperBound(i); differential consumers (the flight recorder)
+// subtract consecutive snapshots to get the distribution of just the
+// samples that arrived in between.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, histBuckets)
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// BucketUpperBound returns bucket i's exclusive upper bound (the last
+// bucket is unbounded and reports +Inf).
+func BucketUpperBound(i int) float64 { return bucketUpper(i) }
+
+// QuantileOver returns an upper bound on the q-th quantile of an
+// arbitrary bucket-count vector laid out like Histogram's buckets (e.g. a
+// delta between two BucketCounts calls). 0 when the vector is empty. The
+// last bucket has no finite upper edge, so samples landing there report
+// its lower bound — callers tracking rolling quantiles accept the
+// coarser answer in exchange for never holding raw samples.
+func QuantileOver(buckets []int64, q float64) float64 {
+	var n int64
+	for _, b := range buckets {
+		n += b
+	}
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, b := range buckets {
+		seen += b
+		if seen >= rank {
+			if i == len(buckets)-1 {
+				return histBase * math.Pow(2, float64(i-1))
+			}
+			return bucketUpper(i)
+		}
+	}
+	return 0
+}
+
 // HistogramSnapshot is one histogram's exported state.
 type HistogramSnapshot struct {
 	Count int64   `json:"count"`
@@ -414,6 +465,54 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		}
 	}
 	return snap
+}
+
+// HistogramState is a histogram's raw cumulative state, for differential
+// consumers (the flight recorder) that compute per-interval deltas.
+type HistogramState struct {
+	Count   int64
+	Sum     float64
+	Max     float64
+	Buckets []int64
+}
+
+// RegistryState is a deep sample of every metric's raw cumulative state.
+// Unlike RegistrySnapshot (which pre-computes quantiles for human-facing
+// export) it carries histogram bucket counts so two states can be
+// subtracted to recover the distribution of an interval.
+type RegistryState struct {
+	Counters   map[string]int64
+	Gauges     map[string]GaugeSnapshot
+	Histograms map[string]HistogramState
+}
+
+// State exports the raw cumulative state of every metric (zero state on
+// nil).
+func (r *Registry) State() RegistryState {
+	var st RegistryState
+	if r == nil {
+		return st
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st.Counters = make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		st.Counters[name] = c.Load()
+	}
+	st.Gauges = make(map[string]GaugeSnapshot, len(r.gauges))
+	for name, g := range r.gauges {
+		st.Gauges[name] = GaugeSnapshot{Value: g.Load(), Max: g.Max()}
+	}
+	st.Histograms = make(map[string]HistogramState, len(r.histograms))
+	for name, h := range r.histograms {
+		st.Histograms[name] = HistogramState{
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Max:     math.Float64frombits(h.maxBits.Load()),
+			Buckets: h.BucketCounts(),
+		}
+	}
+	return st
 }
 
 // Render formats the snapshot as sorted "name value" lines for logs and

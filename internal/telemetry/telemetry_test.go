@@ -233,3 +233,162 @@ func TestProbeContext(t *testing.T) {
 		t.Fatalf("child parent = %d, want root id %d", byName["child"].Parent, byName["root"].ID)
 	}
 }
+
+// TestHistogramQuantileEdgeCases pins the quantile behavior on the
+// degenerate distributions dashboards actually hit: no samples yet, a
+// single sample, and every sample identical.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		h := &Histogram{}
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+			}
+		}
+		s := h.Snapshot()
+		if s.Count != 0 || s.Mean != 0 || s.Min != 0 || s.Max != 0 || s.P50 != 0 || s.P99 != 0 {
+			t.Errorf("empty snapshot not all-zero: %+v", s)
+		}
+	})
+
+	t.Run("single sample", func(t *testing.T) {
+		h := &Histogram{}
+		h.Observe(0.003)
+		// Every quantile must land in the single sample's bucket: the
+		// reported upper bound is >= the sample and within one doubling.
+		for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+			got := h.Quantile(q)
+			if got < 0.003 || got > 0.006*1.001 {
+				t.Errorf("Quantile(%v) = %v, want in [0.003, 0.006]", q, got)
+			}
+		}
+		s := h.Snapshot()
+		if s.Count != 1 || s.Min != 0.003 || s.Max != 0.003 || s.Mean != 0.003 {
+			t.Errorf("single-sample snapshot: %+v", s)
+		}
+	})
+
+	t.Run("all identical", func(t *testing.T) {
+		h := &Histogram{}
+		for i := 0; i < 1000; i++ {
+			h.Observe(0.010)
+		}
+		p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+		if p50 != p99 {
+			t.Errorf("identical samples: p50 %v != p99 %v", p50, p99)
+		}
+		if p50 < 0.010 || p50 > 0.020*1.001 {
+			t.Errorf("p50 = %v, want within the 10ms sample's bucket", p50)
+		}
+		s := h.Snapshot()
+		if s.Min != 0.010 || s.Max != 0.010 {
+			t.Errorf("min/max drifted on identical samples: %+v", s)
+		}
+	})
+
+	t.Run("zero sample", func(t *testing.T) {
+		h := &Histogram{}
+		h.Observe(0)
+		if got := h.Quantile(0.5); got != histBase {
+			t.Errorf("Quantile(0.5) after Observe(0) = %v, want first bucket edge %v", got, histBase)
+		}
+		if s := h.Snapshot(); s.Min != 0 || s.Count != 1 {
+			t.Errorf("zero-sample snapshot: %+v (min must be a real 0, not 'unset')", s)
+		}
+	})
+
+	t.Run("overflow bucket", func(t *testing.T) {
+		h := &Histogram{}
+		huge := 1e9 // past the last finite bucket edge
+		h.Observe(huge)
+		if got := h.Quantile(0.99); got != huge {
+			t.Errorf("overflow-bucket quantile = %v, want observed max %v", got, huge)
+		}
+	})
+}
+
+// TestQuantileOverEdgeCases covers the delta-vector variant the flight
+// recorder uses: empty vectors, single-bucket vectors, and the unbounded
+// last bucket (which reports its lower edge, having no finite upper one).
+func TestQuantileOverEdgeCases(t *testing.T) {
+	if got := QuantileOver(nil, 0.5); got != 0 {
+		t.Errorf("QuantileOver(nil) = %v, want 0", got)
+	}
+	if got := QuantileOver(make([]int64, histBuckets), 0.5); got != 0 {
+		t.Errorf("QuantileOver(all-zero) = %v, want 0", got)
+	}
+
+	h := &Histogram{}
+	h.Observe(0.003)
+	h.Observe(0.003)
+	if got, want := QuantileOver(h.BucketCounts(), 0.5), h.Quantile(0.5); got != want {
+		t.Errorf("QuantileOver over full cumulative buckets = %v, want Quantile's %v", got, want)
+	}
+
+	last := make([]int64, histBuckets)
+	last[histBuckets-1] = 3
+	got := QuantileOver(last, 0.99)
+	want := histBase * math.Pow(2, float64(histBuckets-2))
+	if got != want {
+		t.Errorf("last-bucket QuantileOver = %v, want lower bound %v", got, want)
+	}
+}
+
+// TestBucketCountsSnapshotIsACopy: mutating the returned slice must not
+// corrupt the histogram.
+func TestBucketCountsSnapshotIsACopy(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0.5)
+	b := h.BucketCounts()
+	for i := range b {
+		b[i] = 999
+	}
+	if h.Count() != 1 {
+		t.Error("mutating BucketCounts result changed the histogram")
+	}
+	var total int64
+	for _, c := range h.BucketCounts() {
+		total += c
+	}
+	if total != 1 {
+		t.Errorf("histogram buckets corrupted: total %d, want 1", total)
+	}
+	var nilH *Histogram
+	if nilH.BucketCounts() != nil {
+		t.Error("nil histogram BucketCounts should be nil")
+	}
+}
+
+// TestRegistryStateDifferential: two States straddling traffic diff to
+// exactly that traffic.
+func TestRegistryStateDifferential(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat")
+	h.Observe(0.001)
+	before := reg.State()
+	h.Observe(1.0)
+	h.Observe(1.0)
+	after := reg.State()
+
+	b, a := before.Histograms["lat"], after.Histograms["lat"]
+	if a.Count-b.Count != 2 {
+		t.Fatalf("count delta = %d, want 2", a.Count-b.Count)
+	}
+	diff := make([]int64, len(a.Buckets))
+	var n int64
+	for i := range diff {
+		diff[i] = a.Buckets[i] - b.Buckets[i]
+		n += diff[i]
+	}
+	if n != 2 {
+		t.Fatalf("bucket delta sum = %d, want 2", n)
+	}
+	// The interval held only slow samples; its p50 must ignore the fast
+	// sample recorded before the window.
+	if p50 := QuantileOver(diff, 0.5); p50 < 0.5 {
+		t.Errorf("differential p50 = %v, want >= 0.5 (only 1.0s samples in window)", p50)
+	}
+	if ds := a.Sum - b.Sum; math.Abs(ds-2.0) > 1e-9 {
+		t.Errorf("sum delta = %v, want 2.0", ds)
+	}
+}

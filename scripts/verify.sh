@@ -28,4 +28,21 @@ go test -race ./...
 echo "==> go test -shuffle=1 ./..."
 go test -shuffle=1 ./...
 
+# Perf-harness smoke: record a baseline from a tiny subset, compare a
+# second run against it (generous threshold — this verifies the
+# machinery, not runner speed), and prove the synthetic-regression
+# switch exits nonzero. Mirrored in .github/workflows/ci.yml.
+echo "==> kodan-bench baseline smoke"
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+go run ./cmd/kodan-bench -size quick -only table1,fig2 \
+    -json "$smokedir" -timings "$smokedir/baseline.json" > /dev/null
+go run ./cmd/kodan-bench -size quick -only table1,fig2 \
+    -baseline "$smokedir/baseline.json" -regress-threshold 4 > /dev/null
+if go run ./cmd/kodan-bench -size quick -only table1 \
+    -baseline "$smokedir/baseline.json" -regress-threshold -1 > /dev/null 2>&1; then
+    echo "verify: synthetic regression did not fail the bench gate" >&2
+    exit 1
+fi
+
 echo "verify: OK"
