@@ -27,6 +27,15 @@
 // perf-regression gate `make bench-check` drives; bench/ holds the
 // committed trajectory). -v emits structured slog debug lines from the
 // instrumented layers to stderr.
+//
+// Contradictory flag combinations are rejected before any work starts:
+// -regress-threshold without -baseline, -baseline and -timings naming the
+// same file, and a negative -parallel are all usage errors.
+//
+// The "resilience" figure sweeps injected fault intensity (station
+// outages, link fades, sensor dropouts, satellite resets; see
+// internal/fault) and reports downlinked value retained versus the
+// fault-free baseline.
 package main
 
 import (
@@ -126,7 +135,27 @@ func generators(lab *experiments.Lab) []generator {
 			rows, err := lab.AblationContextSourceCtx(ctx)
 			return experiments.RenderAblationContextSource(rows), rows, err
 		}},
+		{"resilience", func(ctx context.Context) (string, interface{}, error) {
+			rows, err := lab.ResilienceSweepCtx(ctx)
+			return experiments.RenderResilience(rows), rows, err
+		}},
 	}
+}
+
+// validateFlags rejects contradictory flag combinations up front, before
+// any expensive work starts. explicitly reports which flags the user set
+// on the command line (flag defaults are not contradictions).
+func validateFlags(explicitly map[string]bool, baseline, timings string, parallel int) error {
+	if explicitly["regress-threshold"] && baseline == "" {
+		return fmt.Errorf("-regress-threshold has no effect without -baseline")
+	}
+	if baseline != "" && timings != "" && baseline == timings {
+		return fmt.Errorf("-baseline and -timings point at the same file %q: the baseline would be overwritten before the comparison", baseline)
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (0 = GOMAXPROCS), got %d", parallel)
+	}
+	return nil
 }
 
 // selectGenerators filters the table by a comma-separated -only value,
@@ -171,7 +200,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("kodan-bench: ")
 	sizeFlag := flag.String("size", "full", "experiment scale: full or quick")
-	onlyFlag := flag.String("only", "", "comma-separated subset (table1,fig2,...,fig15,ablation-k,ablation-source)")
+	onlyFlag := flag.String("only", "", "comma-separated subset (table1,fig2,...,fig15,ablation-k,ablation-source,resilience)")
 	parallelFlag := flag.Int("parallel", 0, "evaluation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files to this directory")
 	jsonDir := flag.String("json", "", "also write one BENCH_<figure>.json per table/figure to this directory")
@@ -183,6 +212,12 @@ func main() {
 	regressThreshold := flag.Float64("regress-threshold", 0.5, "with -baseline: fail when a figure is more than this fraction slower (0.5 = +50%)")
 	verbose := flag.Bool("v", false, "structured debug logs (slog) to stderr")
 	flag.Parse()
+
+	explicitly := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicitly[f.Name] = true })
+	if err := validateFlags(explicitly, *baselineFile, *timingsFile, *parallelFlag); err != nil {
+		log.Fatal(err)
+	}
 
 	for _, dir := range []string{*csvDir, *jsonDir} {
 		if dir != "" {

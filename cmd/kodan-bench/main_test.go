@@ -146,3 +146,60 @@ func TestCheckBaseline(t *testing.T) {
 		t.Fatal("shape mismatch did not error")
 	}
 }
+
+// TestValidateFlags covers the contradictory-combination rejections and
+// the combinations that must stay legal (verify.sh uses -baseline without
+// -timings).
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name       string
+		explicitly map[string]bool
+		baseline   string
+		timings    string
+		parallel   int
+		wantErr    string
+	}{
+		{"defaults", nil, "", "", 0, ""},
+		{"baseline without timings is legal", nil, "b.json", "", 0, ""},
+		{"explicit threshold with baseline is legal",
+			map[string]bool{"regress-threshold": true}, "b.json", "", 0, ""},
+		{"explicit threshold without baseline",
+			map[string]bool{"regress-threshold": true}, "", "", 0, "-baseline"},
+		{"baseline and timings same file", nil, "t.json", "t.json", 0, "same file"},
+		{"distinct baseline and timings are legal", nil, "b.json", "t.json", 0, ""},
+		{"negative parallel", nil, "", "", -2, "-parallel"},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.explicitly, tc.baseline, tc.timings, tc.parallel)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: contradiction accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestResilienceGenerator runs the resilience sweep through the command's
+// generator table at quick scale.
+func TestResilienceGenerator(t *testing.T) {
+	gens, err := selectGenerators(generators(experiments.NewLab(experiments.Quick)), "resilience")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rows, err := gens[0].gen(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Resilience sweep") {
+		t.Errorf("render missing title:\n%s", out)
+	}
+	if rows == nil {
+		t.Error("generator returned no rows for export")
+	}
+}

@@ -5,10 +5,18 @@
 // Usage:
 //
 //	kodan-sim [-sats 4] [-hours 24] [-planes 1] [-camera ms|hyper] [-parallel N]
+//	          [-faults FILE | -fault-intensity X [-fault-seed N]]
 //	          [-trace FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -parallel bounds the per-satellite propagation worker pool (0 =
 // GOMAXPROCS, 1 = sequential); every setting produces identical ledgers.
+//
+// -faults loads a fault schedule (JSON, see examples/faults/) and runs the
+// mission degraded: station outages cut contact windows, link fades derate
+// downlink capacity, sensor dropouts and satellite resets drop captures.
+// -fault-intensity generates a schedule deterministically from -fault-seed
+// instead; the same seed and intensity always produce the same faults.
+// The two are mutually exclusive.
 //
 // -trace records a span trace of the run (per-satellite propagation,
 // capture, contact-window, and downlink phases) as JSONL and prints an
@@ -29,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"kodan/internal/fault"
 	"kodan/internal/sense"
 	"kodan/internal/sim"
 	"kodan/internal/telemetry"
@@ -42,6 +51,9 @@ func main() {
 	planes := flag.Int("planes", 1, "orbital planes")
 	camera := flag.String("camera", "ms", "payload: ms (multispectral) or hyper")
 	parallel := flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	faultsFile := flag.String("faults", "", "load a fault schedule (JSON) and run the mission degraded")
+	faultIntensity := flag.Float64("fault-intensity", 0, "generate a fault schedule at this intensity (0 = none, 1 = paper scale)")
+	faultSeed := flag.Uint64("fault-seed", 2023, "seed for -fault-intensity schedule generation")
 	verbose := flag.Bool("v", false, "structured debug logs (slog) to stderr")
 	traceFile := flag.String("trace", "", "write a JSONL span trace to this file and print a summary to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -60,8 +72,35 @@ func main() {
 		log.Fatalf("unknown -camera %q", *camera)
 	}
 
+	var sched *fault.Schedule
+	switch {
+	case *faultsFile != "" && *faultIntensity > 0:
+		log.Fatal("-faults and -fault-intensity are mutually exclusive")
+	case *faultsFile != "":
+		var err error
+		if sched, err = fault.LoadFile(*faultsFile); err != nil {
+			log.Fatal(err)
+		}
+	case *faultIntensity > 0:
+		names := make([]string, len(cfg.Stations))
+		for i, st := range cfg.Stations {
+			names[i] = st.Name
+		}
+		sched = fault.Generate(fault.GenConfig{
+			Seed:      *faultSeed,
+			Start:     epoch,
+			Span:      time.Duration(*hours) * time.Hour,
+			Intensity: *faultIntensity,
+			Stations:  names,
+			Sats:      *sats,
+		})
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if sched != nil {
+		ctx = fault.WithInjector(ctx, fault.NewInjector(sched))
+	}
 
 	if *verbose {
 		ctx = telemetry.WithLogger(ctx, slog.New(slog.NewTextHandler(os.Stderr,
@@ -96,7 +135,11 @@ func main() {
 	deadline := cfg.Grid.FramePeriod(cfg.BaseOrbit)
 	fmt.Printf("constellation: %d satellites, %d plane(s), %dh, %s payload (%.1f Gbit/frame)\n",
 		*sats, cfg.Planes, *hours, cfg.Camera.Name, cfg.Camera.FrameBits()/1e9)
-	fmt.Printf("frame deadline: %.1f s\n\n", deadline.Seconds())
+	fmt.Printf("frame deadline: %.1f s\n", deadline.Seconds())
+	if sched != nil {
+		fmt.Printf("faults: %s\n", sched.Summary())
+	}
+	fmt.Println()
 
 	caps := res.FrameCapacityPerSat()
 	fmt.Printf("%4s %10s %12s %14s\n", "Sat", "Frames", "Contact", "DownlinkFrames")

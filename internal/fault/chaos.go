@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"kodan/internal/xrand"
+)
+
+// ErrInjected marks a synthetic transient failure injected by a Chaos
+// striker. The serving layer treats it as retryable: bounded
+// exponential-backoff retries absorb isolated strikes, and sustained
+// strikes trip the circuit breaker.
+var ErrInjected = errors.New("fault: injected transient failure")
+
+// Chaos deterministically injects latency and transient errors into a
+// serving path. Strikes are drawn from a seeded xrand stream under a
+// mutex, so a fixed seed yields a fixed strike sequence (the n-th call
+// always gets the n-th draw, whatever goroutine makes it). The nil *Chaos
+// never strikes.
+type Chaos struct {
+	mu  sync.Mutex
+	rng *xrand.Rand
+
+	errorRate   float64
+	latencyRate float64
+	latency     time.Duration
+}
+
+// NewChaos returns a striker that fails a call with probability errorRate
+// and delays it by up to latency with probability latencyRate. Rates are
+// clamped to [0, 1].
+func NewChaos(seed uint64, errorRate, latencyRate float64, latency time.Duration) *Chaos {
+	clamp := func(p float64) float64 {
+		if p < 0 {
+			return 0
+		}
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	return &Chaos{
+		rng:         xrand.New(seed),
+		errorRate:   clamp(errorRate),
+		latencyRate: clamp(latencyRate),
+		latency:     latency,
+	}
+}
+
+// Strike is one chaos decision.
+type Strike struct {
+	// Delay is the injected latency (zero when none).
+	Delay time.Duration
+	// Fail injects ErrInjected after the delay.
+	Fail bool
+}
+
+// Next draws the next strike. Nil-safe: a nil Chaos never strikes.
+func (c *Chaos) Next() Strike {
+	if c == nil {
+		return Strike{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var s Strike
+	if c.latencyRate > 0 && c.rng.Bool(c.latencyRate) {
+		s.Delay = time.Duration(c.rng.Range(0, float64(c.latency)))
+	}
+	if c.errorRate > 0 && c.rng.Bool(c.errorRate) {
+		s.Fail = true
+	}
+	return s
+}

@@ -1,0 +1,254 @@
+package fault
+
+import (
+	"context"
+	"math"
+	"time"
+)
+
+// Injector is a read-only, query-by-time view over a schedule. The nil
+// *Injector is the no-op: every query reports "no fault" (false, or a 1.0
+// multiplier), mirroring the telemetry.Probe pattern, so instrumented
+// layers call it unconditionally and stay byte-identical when fault
+// injection is off.
+//
+// Every query is a pure function of (schedule, arguments): injectors are
+// safe for concurrent use and independent of evaluation order, which is
+// what keeps faulted simulations bit-identical at every worker count.
+type Injector struct {
+	byStation map[string][]Window // StationOutage + LinkFade, time-sorted
+	bySat     map[int][]Window    // ComputeThrottle + SensorDropout + SatelliteReset
+}
+
+// NewInjector indexes a schedule for querying. A nil or empty schedule
+// yields a nil (no-op) injector.
+func NewInjector(s *Schedule) *Injector {
+	if s == nil || len(s.Windows) == 0 {
+		return nil
+	}
+	inj := &Injector{
+		byStation: make(map[string][]Window),
+		bySat:     make(map[int][]Window),
+	}
+	for _, w := range s.Windows {
+		switch w.Kind {
+		case StationOutage, LinkFade:
+			inj.byStation[w.Station] = append(inj.byStation[w.Station], w)
+		default:
+			inj.bySat[w.Sat] = append(inj.bySat[w.Sat], w)
+		}
+	}
+	for k := range inj.byStation {
+		sortWindows(inj.byStation[k])
+	}
+	for k := range inj.bySat {
+		sortWindows(inj.bySat[k])
+	}
+	return inj
+}
+
+// Active reports whether any fault windows are loaded.
+func (inj *Injector) Active() bool { return inj != nil }
+
+// StationDown reports whether the named station is inside an outage at t.
+func (inj *Injector) StationDown(station string, t time.Time) bool {
+	if inj == nil {
+		return false
+	}
+	for _, w := range inj.byStation[station] {
+		if w.Kind == StationOutage && w.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// StationCuts returns the outage windows of the named station, plus the
+// reset windows of satellite sat — the intervals during which the
+// (station, sat) pair cannot communicate. Nil when no cuts apply.
+func (inj *Injector) StationCuts(station string, sat int) []Window {
+	if inj == nil {
+		return nil
+	}
+	var cuts []Window
+	for _, w := range inj.byStation[station] {
+		if w.Kind == StationOutage {
+			cuts = append(cuts, w)
+		}
+	}
+	for _, w := range inj.bySat[sat] {
+		if w.Kind == SatelliteReset {
+			cuts = append(cuts, w)
+		}
+	}
+	sortWindows(cuts)
+	return cuts
+}
+
+// LinkDerate returns the capacity multiplier of the named station's
+// downlink at t: 1.0 nominal, 10^(-dB/10) inside a fade (overlapping
+// fades compound). The multiplier never exceeds 1.
+func (inj *Injector) LinkDerate(station string, t time.Time) float64 {
+	if inj == nil {
+		return 1
+	}
+	db := 0.0
+	for _, w := range inj.byStation[station] {
+		if w.Kind == LinkFade && w.Contains(t) {
+			db += w.Severity
+		}
+	}
+	if db == 0 {
+		return 1
+	}
+	return math.Pow(10, -db/10)
+}
+
+// HasFades reports whether any link-fade windows are loaded (so consumers
+// can skip the derate integration entirely on fade-free schedules).
+func (inj *Injector) HasFades() bool {
+	if inj == nil {
+		return false
+	}
+	for _, ws := range inj.byStation {
+		for _, w := range ws {
+			if w.Kind == LinkFade {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SensorDown reports whether satellite sat's imager is blind at t — a
+// sensor dropout or a satellite reset.
+func (inj *Injector) SensorDown(sat int, t time.Time) bool {
+	if inj == nil {
+		return false
+	}
+	for _, w := range inj.bySat[sat] {
+		if (w.Kind == SensorDropout || w.Kind == SatelliteReset) && w.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// SatDown reports whether satellite sat is inside a safe-mode reset at t.
+func (inj *Injector) SatDown(sat int, t time.Time) bool {
+	if inj == nil {
+		return false
+	}
+	for _, w := range inj.bySat[sat] {
+		if w.Kind == SatelliteReset && w.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// ThrottleFactor returns satellite sat's compute slowdown at t: 1.0
+// nominal; inside overlapping throttle windows the largest factor wins.
+func (inj *Injector) ThrottleFactor(sat int, t time.Time) float64 {
+	if inj == nil {
+		return 1
+	}
+	f := 1.0
+	for _, w := range inj.bySat[sat] {
+		if w.Kind == ComputeThrottle && w.Contains(t) && w.Severity > f {
+			f = w.Severity
+		}
+	}
+	return f
+}
+
+// MaxThrottle returns the largest compute-throttle factor satellite sat
+// sees anywhere in its schedule (1.0 when none): the conservative
+// deployment-planning number.
+func (inj *Injector) MaxThrottle(sat int) float64 {
+	if inj == nil {
+		return 1
+	}
+	f := 1.0
+	for _, w := range inj.bySat[sat] {
+		if w.Kind == ComputeThrottle && w.Severity > f {
+			f = w.Severity
+		}
+	}
+	return f
+}
+
+// ThrottleTimeFactor returns satellite sat's time-weighted mean compute
+// slowdown over [start, start+span): 1.0 when never throttled, rising
+// toward the window factors as throttled time grows. Overlapping windows
+// add their excess slowdowns (a conservative upper bound).
+func (inj *Injector) ThrottleTimeFactor(sat int, start time.Time, span time.Duration) float64 {
+	if inj == nil || span <= 0 {
+		return 1
+	}
+	end := start.Add(span)
+	excess := 0.0
+	for _, w := range inj.bySat[sat] {
+		if w.Kind != ComputeThrottle {
+			continue
+		}
+		s, e := w.Start, w.End
+		if s.Before(start) {
+			s = start
+		}
+		if e.After(end) {
+			e = end
+		}
+		if e.After(s) {
+			excess += (w.Severity - 1) * float64(e.Sub(s))
+		}
+	}
+	return 1 + excess/float64(span)
+}
+
+// DownFrac returns the fraction of [start, start+span) that satellite sat
+// spends in safe-mode reset, clamped to [0, 1].
+func (inj *Injector) DownFrac(sat int, start time.Time, span time.Duration) float64 {
+	if inj == nil || span <= 0 {
+		return 0
+	}
+	end := start.Add(span)
+	var down time.Duration
+	for _, w := range inj.bySat[sat] {
+		if w.Kind != SatelliteReset {
+			continue
+		}
+		s, e := w.Start, w.End
+		if s.Before(start) {
+			s = start
+		}
+		if e.After(end) {
+			e = end
+		}
+		if e.After(s) {
+			down += e.Sub(s)
+		}
+	}
+	f := float64(down) / float64(span)
+	return math.Min(f, 1)
+}
+
+type ctxKey int
+
+const injectorKey ctxKey = iota
+
+// WithInjector attaches an injector to the context. The instrumented
+// layers below — the simulator, the link allocator, the fleet evaluator —
+// pick it up with InjectorFrom.
+func WithInjector(ctx context.Context, inj *Injector) context.Context {
+	if inj == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, injectorKey, inj)
+}
+
+// InjectorFrom returns the context's injector, or nil (the no-op).
+func InjectorFrom(ctx context.Context) *Injector {
+	inj, _ := ctx.Value(injectorKey).(*Injector)
+	return inj
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"kodan/internal/app"
+	"kodan/internal/fault"
 	"kodan/internal/hw"
 	"kodan/internal/parallel"
 	"kodan/internal/policy"
@@ -182,6 +183,107 @@ func SharedCtx(ctx context.Context, specs []AppSpec, cfg Config) (Report, error)
 		return Report{}, err
 	}
 	return assemble("shared", vals), nil
+}
+
+// upCount returns how many of the n satellites starting at offset are not
+// marked down. A nil down slice means every satellite is up.
+func upCount(down []bool, offset, n int) int {
+	up := 0
+	for i := offset; i < offset+n; i++ {
+		if i >= len(down) || !down[i] {
+			up++
+		}
+	}
+	return up
+}
+
+// DedicatedDegradedCtx evaluates the dedicated strategy with the marked
+// satellites unavailable (safe-mode reset, lost, or otherwise down).
+// Partitions are assigned contiguously in application order — app i owns
+// the same satellite indices Dedicated would give it — so an outage
+// concentrated in one partition can zero out that application entirely
+// while the rest of the fleet is untouched: the dedicated strategy's
+// brittleness under faults. A nil down slice reproduces DedicatedCtx
+// exactly.
+func DedicatedDegradedCtx(ctx context.Context, specs []AppSpec, cfg Config, down []bool) (Report, error) {
+	if err := cfg.validate(len(specs)); err != nil {
+		return Report{}, err
+	}
+	ctx, span := telemetry.StartSpan(ctx, "fleet.dedicated_degraded")
+	defer span.End()
+	telemetry.ProbeFrom(ctx).Metrics.Scope("fleet").Counter("evaluations").Add(int64(len(specs)))
+	base := cfg.Sats / len(specs)
+	extra := cfg.Sats % len(specs)
+	offsets := make([]int, len(specs))
+	sizes := make([]int, len(specs))
+	offset := 0
+	for i := range specs {
+		n := base
+		if i < extra {
+			n++
+		}
+		offsets[i], sizes[i] = offset, n
+		offset += n
+	}
+	vals := make([]AppValue, len(specs))
+	err := parallel.ForEach(ctx, parallel.Workers(cfg.Workers), len(specs), func(_ context.Context, i int) error {
+		n := upCount(down, offsets[i], sizes[i])
+		v := 0.0
+		if n > 0 {
+			v = float64(n) * perSatValue(specs[i], cfg, cfg.Deadline)
+		}
+		vals[i] = AppValue{App: specs[i].Arch.Index, ValueRate: v, Satellites: n}
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	return assemble("dedicated-degraded", vals), nil
+}
+
+// SharedDegradedCtx evaluates the shared strategy with the marked
+// satellites unavailable. Every surviving satellite still serves every
+// application, so value degrades linearly with the up-count and no
+// application is lost while any satellite survives — the platform
+// strategy's graceful degradation. A nil down slice reproduces SharedCtx
+// exactly.
+func SharedDegradedCtx(ctx context.Context, specs []AppSpec, cfg Config, down []bool) (Report, error) {
+	if err := cfg.validate(len(specs)); err != nil {
+		return Report{}, err
+	}
+	ctx, span := telemetry.StartSpan(ctx, "fleet.shared_degraded")
+	defer span.End()
+	telemetry.ProbeFrom(ctx).Metrics.Scope("fleet").Counter("evaluations").Add(int64(len(specs)))
+	up := upCount(down, 0, cfg.Sats)
+	a := len(specs)
+	vals := make([]AppValue, len(specs))
+	err := parallel.ForEach(ctx, parallel.Workers(cfg.Workers), len(specs), func(_ context.Context, i int) error {
+		per := 0.0
+		if up > 0 {
+			per = perSatValue(specs[i], cfg, time.Duration(a)*cfg.Deadline) / float64(a)
+		}
+		vals[i] = AppValue{App: specs[i].Arch.Index, ValueRate: float64(up) * per, Satellites: up}
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	return assemble("shared-degraded", vals), nil
+}
+
+// DownSats marks the satellites a fault schedule takes below the
+// availability floor over [start, start+span): satellite i is down when
+// its safe-mode-reset fraction of the span is at least minDownFrac. A nil
+// injector marks nothing.
+func DownSats(inj *fault.Injector, sats int, start time.Time, span time.Duration, minDownFrac float64) []bool {
+	down := make([]bool, sats)
+	if inj == nil {
+		return down
+	}
+	for i := range down {
+		down[i] = inj.DownFrac(i, start, span) >= minDownFrac
+	}
+	return down
 }
 
 // assemble folds per-app values into a report, in application order.

@@ -139,6 +139,29 @@ func visibleAt(ws []station.Window, idx *int, t time.Time) bool {
 	return *idx < len(ws) && ws[*idx].Contains(t)
 }
 
+// DeratedBits integrates per-satellite downlink capacity over the grants
+// under a time-varying capacity multiplier (1.0 = nominal rate), sampled
+// once per quantum at the quantum's start — the same granularity the
+// allocator grants at. Fault injection uses it to model link fades; with a
+// constant 1.0 multiplier it reproduces Radio.Bits over PerSatServed
+// exactly.
+func DeratedBits(r Radio, grants []Grant, quantum time.Duration, nSats int, derate func(station int, t time.Time) float64) []float64 {
+	if quantum <= 0 {
+		panic("link: non-positive quantum")
+	}
+	out := make([]float64, nSats)
+	for _, g := range grants {
+		for t := g.Start; t.Before(g.End()); t = t.Add(quantum) {
+			step := quantum
+			if rem := g.End().Sub(t); rem < step {
+				step = rem
+			}
+			out[g.Sat] += r.Bits(step) * derate(g.Station, t)
+		}
+	}
+	return out
+}
+
 // PerSatServed sums granted time per satellite.
 func PerSatServed(grants []Grant, nSats int) []time.Duration {
 	out := make([]time.Duration, nSats)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"kodan"
+	"kodan/internal/fault"
 	"kodan/internal/sim"
 	"kodan/internal/telemetry"
 )
@@ -79,19 +80,48 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	enc.Encode(v) //nolint:errcheck // the connection owns delivery
 }
 
+// errorBody is the uniform error document: every 4xx/5xx response is
+// {"error": "..."} with an application/json content type.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSONError writes the uniform JSON error body.
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+// retryAfterSeconds renders a Retry-After header value covering d,
+// rounded up and never below one second.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprint(secs)
+}
+
 // writeError maps pipeline errors onto HTTP statuses.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrSaturated):
 		w.Header().Set("Retry-After", "1")
-		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		writeJSONError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrBreakerOpen):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.breaker.Cooldown()))
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, fault.ErrInjected):
+		// Transient failures survived the retry budget: the client may
+		// try again shortly.
+		w.Header().Set("Retry-After", "1")
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, context.DeadlineExceeded):
-		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+		writeJSONError(w, http.StatusGatewayTimeout, "deadline exceeded")
 	case errors.Is(err, context.Canceled):
 		// Client went away or the server is shutting down.
-		http.Error(w, "request cancelled", http.StatusServiceUnavailable)
+		writeJSONError(w, http.StatusServiceUnavailable, "request cancelled")
 	default:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
 	}
 }
 
@@ -243,7 +273,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleReadyz is readiness: serving, or draining for shutdown.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		writeJSONError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -281,7 +311,7 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	seed := s.cfg.Seed
 	if q := r.URL.Query().Get("seed"); q != "" {
 		if _, err := fmt.Sscanf(q, "%d", &seed); err != nil {
-			http.Error(w, fmt.Sprintf("bad seed %q", q), http.StatusBadRequest)
+			writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad seed %q", q))
 			return
 		}
 	}
@@ -323,11 +353,11 @@ type transformResponse struct {
 func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	var req planRequest
 	if err := decode(r, &req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if req.App < 1 || req.App > len(kodan.Applications()) {
-		http.Error(w, fmt.Sprintf("app must be 1..%d", len(kodan.Applications())), http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("app must be 1..%d", len(kodan.Applications())))
 		return
 	}
 	ctx, cancel := s.requestContext(r, req)
@@ -356,16 +386,16 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req planRequest
 	if err := decode(r, &req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if req.App < 1 || req.App > len(kodan.Applications()) {
-		http.Error(w, fmt.Sprintf("app must be 1..%d", len(kodan.Applications())), http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("app must be 1..%d", len(kodan.Applications())))
 		return
 	}
 	target, err := parseTarget(req.Target)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	ctx, cancel := s.requestContext(r, req)
@@ -425,16 +455,16 @@ type simulateResponse struct {
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req simulateRequest
 	if err := decode(r, &req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if req.App < 1 || req.App > len(kodan.Applications()) {
-		http.Error(w, fmt.Sprintf("app must be 1..%d", len(kodan.Applications())), http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("app must be 1..%d", len(kodan.Applications())))
 		return
 	}
 	target, err := parseTarget(req.Target)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	mode := strings.ToLower(strings.TrimSpace(req.Mode))
@@ -444,7 +474,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	switch mode {
 	case "kodan", "bentpipe", "direct":
 	default:
-		http.Error(w, fmt.Sprintf("unknown mode %q (want kodan, bentpipe, or direct)", req.Mode), http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q (want kodan, bentpipe, or direct)", req.Mode))
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.planRequest)

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"kodan"
+	"kodan/internal/fault"
 	"kodan/internal/telemetry"
 )
 
@@ -84,6 +85,23 @@ type Config struct {
 	// transform, and simulation spans underneath, each annotated with the
 	// request ID that triggered the work.
 	Tracer *telemetry.Tracer
+	// Chaos, when set, injects seeded latency and transient failures into
+	// the transform path for resilience testing (see internal/fault).
+	Chaos *fault.Chaos
+	// RetryAttempts bounds total transform attempts when a transient
+	// (injected) failure occurs: 0 means the default of 3, negative
+	// disables retry.
+	RetryAttempts int
+	// RetryBackoff is the delay before the first retry, doubling each
+	// attempt (default 50ms).
+	RetryBackoff time.Duration
+	// BreakerThreshold is how many consecutive transform failures open
+	// the circuit breaker: 0 means the default of 5, negative disables
+	// the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects requests before
+	// admitting a half-open probe (default 5s).
+	BreakerCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +128,15 @@ func (c Config) withDefaults() Config {
 	if c.SimEpoch.IsZero() {
 		c.SimEpoch = time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC)
 	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	return c
 }
 
@@ -126,6 +153,7 @@ type Server struct {
 	metrics *Metrics
 	probe   telemetry.Probe
 	logger  *slog.Logger
+	breaker *Breaker
 
 	handler http.Handler
 	httpSrv *http.Server
@@ -158,7 +186,12 @@ func New(cfg Config) *Server {
 		metrics:    metrics,
 		probe:      probe,
 		logger:     logger,
+		breaker:    NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 	}
+	// Every transform goes through the resilience wrapper: chaos strikes
+	// (when configured), bounded retry for transient failures, and the
+	// circuit breaker. Pass-through in the default configuration.
+	s.cfg.Transform = s.resilientTransform(cfg.Transform)
 	s.handler = s.routes()
 	s.httpSrv = &http.Server{Handler: s.handler}
 	return s
@@ -257,7 +290,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		defer func() {
 			if rec := recover(); rec != nil {
 				if !sw.wrote {
-					http.Error(sw, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
+					writeJSONError(sw, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
 				}
 			}
 			d := time.Since(start)

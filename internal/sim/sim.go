@@ -13,6 +13,7 @@ import (
 	"math"
 	"time"
 
+	"kodan/internal/fault"
 	"kodan/internal/link"
 	"kodan/internal/orbit"
 	"kodan/internal/parallel"
@@ -124,6 +125,12 @@ type Result struct {
 	Grants []link.Grant
 	// Served is the total granted downlink time per satellite.
 	Served []time.Duration
+	// FadedBits, set only when the run carried a fault injector with link
+	// fades, is the per-satellite downlink capacity in bits with the fade
+	// derates integrated over every grant. Nil on fault-free runs, so
+	// DownlinkBits falls back to the nominal rate and stays byte-identical
+	// to an uninjected run.
+	FadedBits []float64
 }
 
 // Run executes the simulation with background context.
@@ -180,8 +187,27 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{Config: cfg, Orbits: sats}
 	workers := parallel.Workers(cfg.Workers)
 
+	// Degraded-mode injection: when the context carries a fault injector
+	// (nil = no-op, mirroring the telemetry probe), captures inside sensor
+	// dropouts and satellite resets are lost, contact windows are cut by
+	// station outages and resets, and link fades derate the downlink.
+	// Every injected effect is a pure function of (schedule, satellite,
+	// time), so faulted runs stay bit-identical at every worker count; a
+	// nil injector leaves every slice untouched.
+	inj := fault.InjectorFrom(ctx)
+	faultScope := scope
+	if !inj.Active() {
+		faultScope = nil
+	} else {
+		var fsp *telemetry.Span
+		ctx, fsp = telemetry.StartSpan(ctx, "fault.inject")
+		defer fsp.End()
+		fsp.Sim(cfg.Epoch, cfg.Epoch.Add(cfg.Span))
+	}
+
 	// Capture schedules: one independent propagation per satellite.
 	framesCtr := scope.Counter("frames_captured")
+	droppedCtr := faultScope.Counter("fault.captures_dropped")
 	res.Captures = make([][]sense.Capture, len(sats))
 	err := parallel.ForEach(ctx, workers, len(sats), func(ictx context.Context, i int) error {
 		_, sp := telemetry.StartSpan(ictx, "sim.captures")
@@ -195,6 +221,17 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		caps := im.Captures(cfg.Epoch, cfg.Span)
 		for j := range caps {
 			caps[j].Sat = i
+		}
+		if inj.Active() {
+			kept := caps[:0]
+			for _, c := range caps {
+				if inj.SensorDown(i, c.Time) {
+					continue
+				}
+				kept = append(kept, c)
+			}
+			droppedCtr.Add(int64(len(caps) - len(kept)))
+			caps = kept
 		}
 		res.Captures[i] = caps
 		framesCtr.Add(int64(len(caps)))
@@ -212,6 +249,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		windows[si] = make([][]station.Window, len(sats))
 	}
 	windowsCtr := scope.Counter("contact_windows")
+	cutCtr := faultScope.Counter("fault.contact_cut_seconds")
 	err = parallel.ForEach(ctx, workers, len(cfg.Stations)*len(sats), func(ictx context.Context, k int) error {
 		si, j := k/len(sats), k%len(sats)
 		_, sp := telemetry.StartSpan(ictx, "sim.contacts")
@@ -219,8 +257,18 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		sp.Sim(cfg.Epoch, cfg.Epoch.Add(cfg.Span))
 		sp.Set("station", cfg.Stations[si].Name)
 		sp.Set("sat", fmt.Sprint(j))
-		windows[si][j] = station.ContactWindows(cfg.Stations[si], sats[j], cfg.Epoch, cfg.Span, cfg.ScanStep)
-		windowsCtr.Add(int64(len(windows[si][j])))
+		ws := station.ContactWindows(cfg.Stations[si], sats[j], cfg.Epoch, cfg.Span, cfg.ScanStep)
+		if cuts := inj.StationCuts(cfg.Stations[si].Name, j); len(cuts) > 0 {
+			sw := make([]station.Window, len(cuts))
+			for c, cut := range cuts {
+				sw[c] = station.Window{Start: cut.Start, End: cut.End}
+			}
+			before := station.TotalContact(ws)
+			ws = station.SubtractWindows(ws, sw)
+			cutCtr.Add(int64((before - station.TotalContact(ws)).Seconds()))
+		}
+		windows[si][j] = ws
+		windowsCtr.Add(int64(len(ws)))
 		return nil
 	})
 	if err != nil {
@@ -235,6 +283,15 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		Windows: windows,
 	})
 	res.Served = link.PerSatServed(res.Grants, len(sats))
+	if inj.HasFades() {
+		res.FadedBits = link.DeratedBits(cfg.Radio, res.Grants, cfg.Quantum, len(sats),
+			func(st int, t time.Time) float64 { return inj.LinkDerate(cfg.Stations[st].Name, t) })
+		faded := 0.0
+		for i, b := range res.FadedBits {
+			faded += cfg.Radio.Bits(res.Served[i]) - b
+		}
+		faultScope.Counter("fault.faded_bits").Add(int64(faded))
+	}
 	sp.Set("grants", fmt.Sprint(len(res.Grants)))
 	sp.End()
 	scope.Counter("grants").Add(int64(len(res.Grants)))
@@ -273,8 +330,14 @@ func (r *Result) UniqueScenes() int {
 }
 
 // DownlinkBits returns the total downlink capacity per satellite in bits.
+// On a fault-injected run with link fades it returns the derated capacity
+// (FadedBits); otherwise the nominal rate over the granted time.
 func (r *Result) DownlinkBits() []float64 {
 	out := make([]float64, len(r.Served))
+	if r.FadedBits != nil {
+		copy(out, r.FadedBits)
+		return out
+	}
 	for i, d := range r.Served {
 		out[i] = r.Config.Radio.Bits(d)
 	}

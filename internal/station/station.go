@@ -119,6 +119,39 @@ func refineEdge(s Station, e orbit.Elements, lo, hi time.Time, wasUp bool) time.
 	return hi
 }
 
+// SubtractWindows removes the cut intervals from the visibility windows,
+// returning the remaining (possibly split) windows in time order. Windows
+// and cuts need not be sorted; empty cuts return ws unchanged (the same
+// slice, so the fault-free path allocates nothing).
+func SubtractWindows(ws, cuts []Window) []Window {
+	if len(cuts) == 0 || len(ws) == 0 {
+		return ws
+	}
+	out := make([]Window, 0, len(ws))
+	for _, w := range ws {
+		pieces := []Window{w}
+		for _, cut := range cuts {
+			var next []Window
+			for _, p := range pieces {
+				// No overlap: the piece survives whole.
+				if !cut.Start.Before(p.End) || !cut.End.After(p.Start) {
+					next = append(next, p)
+					continue
+				}
+				if cut.Start.After(p.Start) {
+					next = append(next, Window{Start: p.Start, End: cut.Start})
+				}
+				if cut.End.Before(p.End) {
+					next = append(next, Window{Start: cut.End, End: p.End})
+				}
+			}
+			pieces = next
+		}
+		out = append(out, pieces...)
+	}
+	return out
+}
+
 // TotalContact returns the summed duration of all windows.
 func TotalContact(ws []Window) time.Duration {
 	var total time.Duration

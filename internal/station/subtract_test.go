@@ -1,0 +1,64 @@
+package station
+
+import (
+	"testing"
+	"time"
+)
+
+// wn builds a window [startMin, endMin) in minutes past a fixed origin.
+func wn(startMin, endMin int) Window {
+	origin := time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC)
+	return Window{Start: origin.Add(time.Duration(startMin) * time.Minute), End: origin.Add(time.Duration(endMin) * time.Minute)}
+}
+
+func TestSubtractWindowsNoCutsReturnsSameSlice(t *testing.T) {
+	ws := []Window{wn(0, 10), wn(20, 30)}
+	got := SubtractWindows(ws, nil)
+	if len(got) != 2 || &got[0] != &ws[0] {
+		t.Fatal("empty cuts should return the input slice unchanged")
+	}
+}
+
+func TestSubtractWindowsCases(t *testing.T) {
+	cases := []struct {
+		name string
+		ws   []Window
+		cuts []Window
+		want []Window
+	}{
+		{"no overlap", []Window{wn(0, 10)}, []Window{wn(20, 30)}, []Window{wn(0, 10)}},
+		{"cut swallows window", []Window{wn(5, 10)}, []Window{wn(0, 20)}, nil},
+		{"cut splits window", []Window{wn(0, 30)}, []Window{wn(10, 20)}, []Window{wn(0, 10), wn(20, 30)}},
+		{"cut trims head", []Window{wn(10, 30)}, []Window{wn(0, 20)}, []Window{wn(20, 30)}},
+		{"cut trims tail", []Window{wn(0, 20)}, []Window{wn(10, 30)}, []Window{wn(0, 10)}},
+		{"touching cut leaves window", []Window{wn(0, 10)}, []Window{wn(10, 20)}, []Window{wn(0, 10)}},
+		{"two cuts two splits", []Window{wn(0, 60)}, []Window{wn(10, 20), wn(40, 50)},
+			[]Window{wn(0, 10), wn(20, 40), wn(50, 60)}},
+		{"cut spans two windows", []Window{wn(0, 20), wn(30, 50)}, []Window{wn(10, 40)},
+			[]Window{wn(0, 10), wn(40, 50)}},
+	}
+	for _, tc := range cases {
+		got := SubtractWindows(tc.ws, tc.cuts)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: got %d windows, want %d (%v)", tc.name, len(got), len(tc.want), got)
+			continue
+		}
+		for i := range got {
+			if !got[i].Start.Equal(tc.want[i].Start) || !got[i].End.Equal(tc.want[i].End) {
+				t.Errorf("%s: window %d = [%v, %v), want [%v, %v)", tc.name, i,
+					got[i].Start, got[i].End, tc.want[i].Start, tc.want[i].End)
+			}
+		}
+	}
+}
+
+func TestSubtractWindowsConservesTime(t *testing.T) {
+	ws := []Window{wn(0, 30), wn(40, 70), wn(80, 90)}
+	cuts := []Window{wn(10, 50), wn(85, 100)}
+	remaining := TotalContact(SubtractWindows(ws, cuts))
+	// Removed: [10,30) + [40,50) from the first two, [85,90) from the last.
+	want := TotalContact(ws) - 35*time.Minute
+	if remaining != want {
+		t.Fatalf("remaining contact %v, want %v", remaining, want)
+	}
+}

@@ -28,16 +28,32 @@ go test -race ./...
 echo "==> go test -shuffle=1 ./..."
 go test -shuffle=1 ./...
 
-# Perf-harness smoke: record a baseline from a tiny subset, compare a
-# second run against it (generous threshold — this verifies the
-# machinery, not runner speed), and prove the synthetic-regression
-# switch exits nonzero. Mirrored in .github/workflows/ci.yml.
-echo "==> kodan-bench baseline smoke"
 smokedir=$(mktemp -d)
 trap 'rm -rf "$smokedir"' EXIT
-go run ./cmd/kodan-bench -size quick -only table1,fig2 \
+
+# Coverage gate: aggregate statement coverage must stay at or above the
+# checked-in threshold (scripts/coverage_threshold.txt). The threshold is
+# set below the current figure with margin — it catches large untested
+# additions, not noise.
+echo "==> go test -cover (aggregate threshold)"
+threshold=$(cat scripts/coverage_threshold.txt)
+go test -coverprofile="$smokedir/cover.out" ./... > /dev/null
+total=$(go tool cover -func="$smokedir/cover.out" | awk '/^total:/ { gsub(/%/, "", $NF); print $NF }')
+if ! awk -v t="$threshold" -v c="$total" 'BEGIN { exit !(c+0 >= t+0) }'; then
+    echo "verify: total coverage ${total}% below threshold ${threshold}%" >&2
+    exit 1
+fi
+echo "    total coverage ${total}% (threshold ${threshold}%)"
+
+# Perf-harness smoke: record a baseline from a tiny subset (including the
+# fault-injection resilience sweep), compare a second run against it
+# (generous threshold — this verifies the machinery, not runner speed),
+# and prove the synthetic-regression switch exits nonzero. Mirrored in
+# .github/workflows/ci.yml.
+echo "==> kodan-bench baseline smoke"
+go run ./cmd/kodan-bench -size quick -only table1,fig2,resilience \
     -json "$smokedir" -timings "$smokedir/baseline.json" > /dev/null
-go run ./cmd/kodan-bench -size quick -only table1,fig2 \
+go run ./cmd/kodan-bench -size quick -only table1,fig2,resilience \
     -baseline "$smokedir/baseline.json" -regress-threshold 4 > /dev/null
 if go run ./cmd/kodan-bench -size quick -only table1 \
     -baseline "$smokedir/baseline.json" -regress-threshold -1 > /dev/null 2>&1; then
