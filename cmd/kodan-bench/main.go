@@ -139,6 +139,10 @@ func generators(lab *experiments.Lab) []generator {
 			rows, err := lab.ResilienceSweepCtx(ctx)
 			return experiments.RenderResilience(rows), rows, err
 		}},
+		{"hybridplan", func(ctx context.Context) (string, interface{}, error) {
+			rows, err := lab.HybridPlanSweepCtx(ctx)
+			return experiments.RenderHybridPlan(rows), rows, err
+		}},
 	}
 }
 
@@ -200,7 +204,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("kodan-bench: ")
 	sizeFlag := flag.String("size", "full", "experiment scale: full or quick")
-	onlyFlag := flag.String("only", "", "comma-separated subset (table1,fig2,...,fig15,ablation-k,ablation-source,resilience)")
+	onlyFlag := flag.String("only", "", "comma-separated subset (table1,fig2,...,fig15,ablation-k,ablation-source,resilience,hybridplan)")
 	parallelFlag := flag.Int("parallel", 0, "evaluation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files to this directory")
 	jsonDir := flag.String("json", "", "also write one BENCH_<figure>.json per table/figure to this directory")

@@ -203,3 +203,22 @@ func TestResilienceGenerator(t *testing.T) {
 		t.Error("generator returned no rows for export")
 	}
 }
+
+// TestHybridPlanGenerator runs the hybrid planning sweep through the
+// command's generator table at quick scale.
+func TestHybridPlanGenerator(t *testing.T) {
+	gens, err := selectGenerators(generators(experiments.NewLab(experiments.Quick)), "hybridplan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rows, err := gens[0].gen(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Hybrid plan sweep") {
+		t.Errorf("render missing title:\n%s", out)
+	}
+	if rows == nil {
+		t.Error("generator returned no rows for export")
+	}
+}

@@ -24,6 +24,18 @@
 // stderr. -cpuprofile and -memprofile write pprof profiles. None of the
 // three changes the ledgers: telemetry observes the run, it never feeds
 // back into it.
+//
+// -plan hybrid runs the space-ground execution planner (internal/planner)
+// over the simulated link: the capture stream, split into eight equal
+// slices, is placed among
+// immediate raw downlink, deferred store-and-forward (priced at
+// -ground-cost per frame and held in a -buffer-frames on-board buffer),
+// and drop, and the deferred traffic is replayed through the run's actual
+// contact schedule for delivery latency. Contradictory combinations are
+// rejected up front: -ground-cost or -buffer-frames without -plan hybrid,
+// unknown -plan values, and (with -plan hybrid) a fault schedule that has
+// no windows or whose station faults name stations absent from the ground
+// segment — such a schedule would silently re-plan as if fault-free.
 package main
 
 import (
@@ -34,14 +46,100 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"kodan/internal/fault"
+	"kodan/internal/hw"
+	"kodan/internal/planner"
+	"kodan/internal/policy"
+	"kodan/internal/power"
 	"kodan/internal/sense"
 	"kodan/internal/sim"
 	"kodan/internal/telemetry"
+	"kodan/internal/tiling"
 )
+
+// simFlags carries the validated command line.
+type simFlags struct {
+	sats, hours, planes int
+	camera, plan        string
+	groundCost          float64
+	bufferFrames        float64
+	faultsFile          string
+	faultIntensity      float64
+}
+
+// validateFlags rejects contradictory flag combinations before any work
+// starts. explicitly reports which flags the user set on the command line
+// (defaults are not contradictions).
+func validateFlags(explicitly map[string]bool, f simFlags) error {
+	if f.sats < 1 {
+		return fmt.Errorf("-sats must be >= 1, got %d", f.sats)
+	}
+	if f.hours < 1 {
+		return fmt.Errorf("-hours must be >= 1, got %d", f.hours)
+	}
+	if f.planes < 1 {
+		return fmt.Errorf("-planes must be >= 1, got %d", f.planes)
+	}
+	switch f.camera {
+	case "ms", "hyper":
+	default:
+		return fmt.Errorf("unknown -camera %q (want ms or hyper)", f.camera)
+	}
+	switch f.plan {
+	case "", "hybrid":
+	default:
+		return fmt.Errorf("unknown -plan %q (want hybrid)", f.plan)
+	}
+	if f.plan != "hybrid" {
+		if explicitly["ground-cost"] {
+			return fmt.Errorf("-ground-cost has no effect without -plan hybrid")
+		}
+		if explicitly["buffer-frames"] {
+			return fmt.Errorf("-buffer-frames has no effect without -plan hybrid")
+		}
+	}
+	if f.groundCost < 0 {
+		return fmt.Errorf("-ground-cost must be >= 0, got %g", f.groundCost)
+	}
+	if f.bufferFrames < 0 {
+		return fmt.Errorf("-buffer-frames must be >= 0, got %g", f.bufferFrames)
+	}
+	if f.faultsFile != "" && f.faultIntensity > 0 {
+		return fmt.Errorf("-faults and -fault-intensity are mutually exclusive")
+	}
+	if f.faultIntensity < 0 {
+		return fmt.Errorf("-fault-intensity must be >= 0, got %g", f.faultIntensity)
+	}
+	return nil
+}
+
+// validateSchedule rejects a fault schedule that cannot drive hybrid
+// re-planning: the planner reads the link shape from the simulated run, so
+// a schedule with no windows, or whose station faults name stations absent
+// from the ground segment, would silently plan as if fault-free.
+func validateSchedule(plan string, sched *fault.Schedule, stations []string) error {
+	if plan != "hybrid" || sched == nil {
+		return nil
+	}
+	if len(sched.Windows) == 0 {
+		return fmt.Errorf("-plan hybrid with an empty fault schedule: nothing to re-plan against")
+	}
+	known := map[string]bool{}
+	for _, s := range stations {
+		known[s] = true
+	}
+	for _, w := range sched.Windows {
+		if (w.Kind == fault.StationOutage || w.Kind == fault.LinkFade) && !known[w.Station] {
+			return fmt.Errorf("fault schedule names unknown station %q (ground segment: %s)",
+				w.Station, strings.Join(stations, ", "))
+		}
+	}
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -51,6 +149,9 @@ func main() {
 	planes := flag.Int("planes", 1, "orbital planes")
 	camera := flag.String("camera", "ms", "payload: ms (multispectral) or hyper")
 	parallel := flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	plan := flag.String("plan", "", `execution planning: "hybrid" runs the space-ground planner on the simulated link`)
+	groundCost := flag.Float64("ground-cost", 0.5, "with -plan hybrid: ground-compute price per deferred frame")
+	bufferFrames := flag.Float64("buffer-frames", 64, "with -plan hybrid: on-board deferral buffer in frame-size units")
 	faultsFile := flag.String("faults", "", "load a fault schedule (JSON) and run the mission degraded")
 	faultIntensity := flag.Float64("fault-intensity", 0, "generate a fault schedule at this intensity (0 = none, 1 = paper scale)")
 	faultSeed := flag.Uint64("fault-seed", 2023, "seed for -fault-intensity schedule generation")
@@ -60,22 +161,27 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 
+	explicitly := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicitly[f.Name] = true })
+	if err := validateFlags(explicitly, simFlags{
+		sats: *sats, hours: *hours, planes: *planes,
+		camera: *camera, plan: *plan,
+		groundCost: *groundCost, bufferFrames: *bufferFrames,
+		faultsFile: *faultsFile, faultIntensity: *faultIntensity,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
 	epoch := time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC)
 	cfg := sim.Landsat8Config(epoch, time.Duration(*hours)*time.Hour, *sats)
 	cfg.Planes = *planes
 	cfg.Workers = *parallel
-	switch *camera {
-	case "ms":
-	case "hyper":
+	if *camera == "hyper" {
 		cfg.Camera = sense.Landsat8Hyper()
-	default:
-		log.Fatalf("unknown -camera %q", *camera)
 	}
 
 	var sched *fault.Schedule
 	switch {
-	case *faultsFile != "" && *faultIntensity > 0:
-		log.Fatal("-faults and -fault-intensity are mutually exclusive")
 	case *faultsFile != "":
 		var err error
 		if sched, err = fault.LoadFile(*faultsFile); err != nil {
@@ -94,6 +200,14 @@ func main() {
 			Stations:  names,
 			Sats:      *sats,
 		})
+	}
+
+	stationNames := make([]string, len(cfg.Stations))
+	for i, st := range cfg.Stations {
+		stationNames[i] = st.Name
+	}
+	if err := validateSchedule(*plan, sched, stationNames); err != nil {
+		log.Fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -150,4 +264,54 @@ func main() {
 		res.FramesObserved(), res.UniqueScenes(),
 		100*float64(res.UniqueScenes())/float64(cfg.Grid.TotalScenes()),
 		res.FrameCapacity(), 100*res.FrameCapacity()/float64(res.FramesObserved()))
+
+	if *plan == "hybrid" {
+		if err := printHybridPlan(res, cfg, *groundCost, *bufferFrames); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// printHybridPlan places the capture stream with the hybrid planner
+// against the simulated (possibly fault-injected) link and replays the
+// planned traffic through the run's contact schedule. The stream is split
+// into eight equal slices so the planner can place fractions of a frame
+// rather than all-or-nothing; no on-board models run here — kodan-sim has
+// no transformed application — so the Onboard placement coincides with raw
+// immediate downlink and the interesting decision is raw-now versus defer
+// versus drop, slice by slice.
+func printHybridPlan(res *sim.Result, cfg sim.Config, groundCost, bufferFrames float64) error {
+	const slices = 8
+	prof := policy.TilingProfile{Tiling: tiling.Tiling{PerSide: 1}}
+	base := policy.Selection{Tiling: prof.Tiling}
+	for i := 0; i < slices; i++ {
+		prof.Contexts = append(prof.Contexts, policy.ContextProfile{
+			TileFrac: 1.0 / slices, HighValueFrac: 0.48,
+		})
+		base.Actions = append(base.Actions, policy.Downlink)
+	}
+	costs := planner.DefaultCosts()
+	costs.GroundPerFrame = groundCost
+	env := planner.Env{
+		Policy:       policy.Env{Target: hw.Orin15W, Deadline: cfg.Grid.FramePeriod(cfg.BaseOrbit)},
+		Bus:          power.ThreeUBus(),
+		Costs:        costs,
+		BufferFrames: bufferFrames,
+	}.WithLink(planner.DeriveLink(res))
+	pl, err := planner.Decide(prof, base, env)
+	if err != nil {
+		return err
+	}
+	ev := pl.Eval
+	frameBits := cfg.Camera.FrameBits()
+	st := res.DrainDeferred((ev.NowBits+ev.DeferBits)*frameBits, bufferFrames*frameBits)
+	fmt.Printf("\nhybrid plan (capture stream in %d slices, ground cost %.2f, buffer %.0f frames):\n", slices, groundCost, bufferFrames)
+	fmt.Printf("  placement: downlink-now %.0f%%, defer %.0f%%, drop %.0f%% (utility %.3f)\n",
+		100*(ev.OnboardFrac+ev.DownlinkFrac), 100*ev.DeferFrac, 100*ev.DropFrac, ev.Utility)
+	fmt.Printf("  link: %.3f now + %.3f deferred frame-fractions per observed frame (capacity %.3f, contact gap %.1f frames)\n",
+		ev.NowBits, ev.DeferBits, env.Policy.CapacityFrac, env.FramesBetweenContacts)
+	fmt.Printf("  store-and-forward: delivered %.1f Gbit, dropped %.1f, residual %.1f; latency mean %v max %v; peak buffer %.1f Gbit\n",
+		st.DeliveredBits/1e9, st.DroppedBits/1e9, st.ResidualBits/1e9,
+		st.MeanLatency.Round(time.Second), st.MaxLatency.Round(time.Second), st.PeakBufferBits/1e9)
+	return nil
 }

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"kodan/internal/fault"
+)
+
+// legalFlags returns the default command line, which must validate.
+func legalFlags() simFlags {
+	return simFlags{sats: 4, hours: 24, planes: 1, camera: "ms", groundCost: 0.5, bufferFrames: 64}
+}
+
+// TestValidateFlags table-tests the contradictory-combination rejections:
+// planner knobs without -plan hybrid, unknown mode strings, out-of-range
+// numerics, and the -faults / -fault-intensity exclusion.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name       string
+		explicitly []string
+		mutate     func(*simFlags)
+		wantErr    string // substring; empty = must validate
+	}{
+		{name: "defaults", mutate: func(f *simFlags) {}},
+		{name: "hybrid with knobs", explicitly: []string{"plan", "ground-cost", "buffer-frames"},
+			mutate: func(f *simFlags) { f.plan = "hybrid"; f.groundCost = 0.1; f.bufferFrames = 16 }},
+		{name: "zero sats", mutate: func(f *simFlags) { f.sats = 0 }, wantErr: "-sats"},
+		{name: "zero hours", mutate: func(f *simFlags) { f.hours = 0 }, wantErr: "-hours"},
+		{name: "zero planes", mutate: func(f *simFlags) { f.planes = 0 }, wantErr: "-planes"},
+		{name: "unknown camera", mutate: func(f *simFlags) { f.camera = "sar" }, wantErr: "-camera"},
+		{name: "unknown plan", mutate: func(f *simFlags) { f.plan = "orbit" }, wantErr: "-plan"},
+		{name: "ground-cost without hybrid", explicitly: []string{"ground-cost"},
+			mutate: func(f *simFlags) { f.groundCost = 1 }, wantErr: "without -plan hybrid"},
+		{name: "buffer-frames without hybrid", explicitly: []string{"buffer-frames"},
+			mutate: func(f *simFlags) { f.bufferFrames = 8 }, wantErr: "without -plan hybrid"},
+		{name: "default knobs without hybrid are fine", mutate: func(f *simFlags) {}},
+		{name: "negative ground-cost", explicitly: []string{"plan", "ground-cost"},
+			mutate: func(f *simFlags) { f.plan = "hybrid"; f.groundCost = -1 }, wantErr: "-ground-cost"},
+		{name: "negative buffer-frames", explicitly: []string{"plan", "buffer-frames"},
+			mutate: func(f *simFlags) { f.plan = "hybrid"; f.bufferFrames = -4 }, wantErr: "-buffer-frames"},
+		{name: "faults file and intensity", explicitly: []string{"faults", "fault-intensity"},
+			mutate: func(f *simFlags) { f.faultsFile = "x.json"; f.faultIntensity = 0.5 }, wantErr: "mutually exclusive"},
+		{name: "negative intensity", explicitly: []string{"fault-intensity"},
+			mutate: func(f *simFlags) { f.faultIntensity = -0.5 }, wantErr: "-fault-intensity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := legalFlags()
+			tc.mutate(&f)
+			explicitly := map[string]bool{}
+			for _, name := range tc.explicitly {
+				explicitly[name] = true
+			}
+			err := validateFlags(explicitly, f)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestValidateSchedule covers the hybrid-mode fault-schedule checks: empty
+// schedules and station faults naming stations outside the ground segment
+// are rejected, while sat-targeted windows and non-hybrid runs pass.
+func TestValidateSchedule(t *testing.T) {
+	stations := []string{"Svalbard", "Fairbanks"}
+	epoch := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	outage := func(st string) fault.Window {
+		return fault.Window{Kind: fault.StationOutage, Station: st, Start: epoch, End: epoch.Add(time.Hour)}
+	}
+	cases := []struct {
+		name    string
+		plan    string
+		sched   *fault.Schedule
+		wantErr string
+	}{
+		{name: "non-hybrid ignores schedule", plan: "",
+			sched: &fault.Schedule{Windows: []fault.Window{outage("Nowhere")}}},
+		{name: "hybrid without schedule", plan: "hybrid"},
+		{name: "hybrid empty schedule", plan: "hybrid",
+			sched: &fault.Schedule{}, wantErr: "empty fault schedule"},
+		{name: "hybrid unknown station", plan: "hybrid",
+			sched:   &fault.Schedule{Windows: []fault.Window{outage("Atlantis")}},
+			wantErr: `unknown station "Atlantis"`},
+		{name: "hybrid known station", plan: "hybrid",
+			sched: &fault.Schedule{Windows: []fault.Window{outage("Svalbard")}}},
+		{name: "hybrid link fade unknown station", plan: "hybrid",
+			sched: &fault.Schedule{Windows: []fault.Window{
+				{Kind: fault.LinkFade, Station: "Atlantis", Start: epoch, End: epoch.Add(time.Hour), Severity: 0.5},
+			}},
+			wantErr: "ground segment: Svalbard, Fairbanks"},
+		{name: "hybrid sat-targeted windows", plan: "hybrid",
+			sched: &fault.Schedule{Windows: []fault.Window{
+				{Kind: fault.SensorDropout, Sat: 1, Start: epoch, End: epoch.Add(time.Hour)},
+				{Kind: fault.SatelliteReset, Sat: 0, Start: epoch.Add(time.Hour), End: epoch.Add(2 * time.Hour)},
+			}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateSchedule(tc.plan, tc.sched, stations)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

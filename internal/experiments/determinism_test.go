@@ -50,6 +50,8 @@ func figureOutputs(t *testing.T, l *Lab) map[string]figureOutput {
 	add("fig14", RenderFigure14(f14), f14, err)
 	f15, err := l.Figure15()
 	add("fig15", RenderFigure15(f15), f15, err)
+	hp, err := l.HybridPlanSweep()
+	add("hybridplan", RenderHybridPlan(hp), hp, err)
 	return out
 }
 

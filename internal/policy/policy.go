@@ -44,6 +44,13 @@ const (
 	// pixels.
 	Generic
 	numActions
+	// Deferred buffers the tile raw on board and downlinks it against
+	// later contact windows for ground processing — the hybrid planner's
+	// defer-to-ground disposition (internal/planner). It is declared after
+	// numActions so the selection-logic optimizer, which sweeps the
+	// paper's on-board action set, never considers it; only planner
+	// output carries it.
+	Deferred
 )
 
 // String implements fmt.Stringer.
@@ -59,6 +66,8 @@ func (a Action) String() string {
 		return "merged"
 	case Generic:
 		return "generic"
+	case Deferred:
+		return "deferred"
 	default:
 		return fmt.Sprintf("action(%d)", int(a))
 	}
@@ -145,7 +154,19 @@ type Selection struct {
 func (s Selection) ElidedFrac(tp TilingProfile) float64 {
 	var f float64
 	for c, a := range s.Actions {
-		if a == Discard || a == Downlink {
+		if a == Discard || a == Downlink || a == Deferred {
+			f += tp.Contexts[c].TileFrac
+		}
+	}
+	return f
+}
+
+// DeferredFrac returns the tile fraction the selection routes to the
+// deferred/ground disposition.
+func (s Selection) DeferredFrac(tp TilingProfile) float64 {
+	var f float64
+	for c, a := range s.Actions {
+		if a == Deferred {
 			f += tp.Contexts[c].TileFrac
 		}
 	}
@@ -206,6 +227,11 @@ func EvaluateAtTime(s Selection, tp TilingProfile, env Env, ft time.Duration) Es
 		cp := tp.Contexts[c]
 		switch a {
 		case Discard:
+		case Deferred:
+			// Deferred tiles leave the frame's immediate downlink budget
+			// untouched: their bits ride later contact windows and are
+			// accounted by the planner (internal/planner) and the sim's
+			// store-and-forward drain, not by the in-frame ledger.
 		case Downlink:
 			chunks = append(chunks, value.Chunk{
 				Bits:      p * cp.TileFrac,

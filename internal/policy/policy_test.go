@@ -324,3 +324,48 @@ func TestMaxDutyCycleImpossibleFallsBack(t *testing.T) {
 		t.Fatalf("DVD %v", est.DVD)
 	}
 }
+
+func TestDeferredActionAccounting(t *testing.T) {
+	tp := testProfile(3)
+	env := testEnv()
+	env.FillIdle = false
+
+	// Deferred tiles run no model (same frame time as elision) and leave
+	// the in-frame downlink budget untouched (same ledger as discard):
+	// their bits are accounted against later contact windows by the
+	// planner, not by the per-frame drain.
+	def := Selection{Tiling: tp.Tiling, Actions: []Action{Deferred, Discard, Specialized}}
+	dis := Selection{Tiling: tp.Tiling, Actions: []Action{Discard, Discard, Specialized}}
+	if got, want := FrameTime(def, tp, env), FrameTime(dis, tp, env); got != want {
+		t.Fatalf("deferred frame time = %v, discard = %v", got, want)
+	}
+	de, di := Evaluate(def, tp, env), Evaluate(dis, tp, env)
+	if de.Ledger != di.Ledger {
+		t.Fatalf("deferred ledger %+v differs from discard ledger %+v", de.Ledger, di.Ledger)
+	}
+
+	if got := def.ElidedFrac(tp); math.Abs(got-0.65) > 1e-12 {
+		t.Fatalf("elided = %v, want 0.65", got)
+	}
+	if got := def.DeferredFrac(tp); math.Abs(got-0.30) > 1e-12 {
+		t.Fatalf("deferred frac = %v, want 0.30", got)
+	}
+	if got := dis.DeferredFrac(tp); got != 0 {
+		t.Fatalf("discard-only deferred frac = %v, want 0", got)
+	}
+	if Deferred.String() != "deferred" {
+		t.Fatalf("Deferred.String() = %q", Deferred.String())
+	}
+}
+
+func TestOptimizeNeverEmitsDeferred(t *testing.T) {
+	// Deferred is planner-only output: the selection-logic optimizer sweeps
+	// the paper's on-board action set and must never pick it on its own.
+	profiles := []TilingProfile{testProfile(3), testProfile(6)}
+	sel, _ := Optimize(profiles, testEnv())
+	for c, a := range sel.Actions {
+		if a == Deferred {
+			t.Fatalf("optimizer emitted Deferred for context %d", c)
+		}
+	}
+}

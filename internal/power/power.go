@@ -9,6 +9,7 @@
 package power
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -17,6 +18,22 @@ import (
 	"kodan/internal/hw"
 	"kodan/internal/orbit"
 	"kodan/internal/policy"
+)
+
+// Typed sentinel errors. Callers that price energy programmatically (the
+// hybrid execution planner in internal/planner) branch on these with
+// errors.Is instead of parsing messages, and no numeric path ever returns
+// NaN in their place.
+var (
+	// ErrInvalidBus marks a non-physical electrical bus.
+	ErrInvalidBus = errors.New("power: invalid bus")
+	// ErrBadDuty marks a duty cycle outside [0, 1].
+	ErrBadDuty = errors.New("power: duty cycle outside [0,1]")
+	// ErrBadDeadline marks a non-positive frame deadline.
+	ErrBadDeadline = errors.New("power: non-positive deadline")
+	// ErrZeroLoad marks a bus with no load at all, whose battery autonomy
+	// is undefined (0/0) rather than a finite number.
+	ErrZeroLoad = errors.New("power: zero load")
 )
 
 // Bus describes the satellite electrical power system.
@@ -38,10 +55,13 @@ func ThreeUBus() Bus {
 	return Bus{SolarW: 17, BatteryWh: 40, IdleW: 3, RadioW: 8}
 }
 
-// Validate rejects non-physical buses.
+// Validate rejects non-physical buses. A zero-capacity battery is legal —
+// a bus that never rides through eclipse on stored energy (BatteryHours 0)
+// is unusual but physical, and the planner must be able to price it
+// without dividing by zero.
 func (b Bus) Validate() error {
-	if b.SolarW <= 0 || b.BatteryWh <= 0 || b.IdleW < 0 || b.RadioW < 0 {
-		return fmt.Errorf("power: invalid bus %+v", b)
+	if b.SolarW <= 0 || b.BatteryWh < 0 || b.IdleW < 0 || b.RadioW < 0 {
+		return fmt.Errorf("%w: %+v", ErrInvalidBus, b)
 	}
 	return nil
 }
@@ -50,10 +70,38 @@ func (b Bus) Validate() error {
 // the platform's published mode power scaled by the compute duty cycle
 // (busy fraction of the frame period).
 func ComputeDraw(target hw.Target, dutyCycle float64) float64 {
-	if dutyCycle < 0 || dutyCycle > 1 {
-		panic("power: duty cycle outside [0,1]")
+	w, err := Draw(target, dutyCycle)
+	if err != nil {
+		panic(err.Error())
 	}
-	return ModeWatts(target) * dutyCycle
+	return w
+}
+
+// Draw is ComputeDraw with a typed error instead of a panic, for callers
+// (the planner's cost evaluation) that probe candidate duty cycles.
+func Draw(target hw.Target, dutyCycle float64) (float64, error) {
+	if dutyCycle < 0 || dutyCycle > 1 || math.IsNaN(dutyCycle) {
+		return 0, fmt.Errorf("%w: %v", ErrBadDuty, dutyCycle)
+	}
+	return ModeWatts(target) * dutyCycle, nil
+}
+
+// EnergyPerFrame returns the compute energy in joules one frame costs on a
+// target: mode power over the busy time, clamped at the deadline (a
+// bottlenecked processor never idles but also never exceeds one deadline
+// of work per frame). Negative busy times and non-positive deadlines are
+// typed errors, never NaN.
+func EnergyPerFrame(target hw.Target, busy, deadline time.Duration) (float64, error) {
+	if deadline <= 0 {
+		return 0, fmt.Errorf("%w: %v", ErrBadDeadline, deadline)
+	}
+	if busy < 0 {
+		return 0, fmt.Errorf("%w: negative busy time %v", ErrBadDuty, busy)
+	}
+	if busy > deadline {
+		busy = deadline
+	}
+	return ModeWatts(target) * busy.Seconds(), nil
 }
 
 // ModeWatts returns each target's mode power from the paper's Section 4:
@@ -114,10 +162,13 @@ func Evaluate(bus Bus, e orbit.Elements, target hw.Target, est policy.Estimate,
 		return Budget{}, err
 	}
 	if deadline <= 0 {
-		return Budget{}, fmt.Errorf("power: non-positive deadline")
+		return Budget{}, fmt.Errorf("%w: %v", ErrBadDeadline, deadline)
 	}
 	if radioDuty < 0 || radioDuty > 1 {
-		return Budget{}, fmt.Errorf("power: radio duty %f outside [0,1]", radioDuty)
+		return Budget{}, fmt.Errorf("%w: radio duty %f", ErrBadDuty, radioDuty)
+	}
+	if est.FrameTime < 0 {
+		return Budget{}, fmt.Errorf("%w: negative frame time %v", ErrBadDuty, est.FrameTime)
 	}
 
 	// Compute duty: the processor is busy frameTime out of every deadline
@@ -127,8 +178,17 @@ func Evaluate(bus Bus, e orbit.Elements, target hw.Target, est policy.Estimate,
 		duty = 1
 	}
 
-	computeW := ComputeDraw(target, duty)
+	computeW, err := Draw(target, duty)
+	if err != nil {
+		return Budget{}, err
+	}
 	load := bus.IdleW + computeW + bus.RadioW*radioDuty
+	if load <= 0 {
+		// No housekeeping, no compute, no radio: battery autonomy is 0/0.
+		// A typed error beats the NaN the division would produce.
+		return Budget{}, fmt.Errorf("%w: idle %.3f W, duty %.3f, radio duty %.3f",
+			ErrZeroLoad, bus.IdleW, duty, radioDuty)
+	}
 	gen := bus.SolarW * (1 - EclipseFraction(e))
 
 	busySecondsPerFrame := math.Min(est.FrameTime.Seconds(), deadline.Seconds())

@@ -1,6 +1,7 @@
 package power
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"time"
@@ -121,5 +122,95 @@ func TestBatteryRideThrough(t *testing.T) {
 	}
 	if math.IsInf(b.BatteryHours, 0) {
 		t.Fatal("battery hours infinite")
+	}
+}
+
+func TestZeroBatteryBusEvaluates(t *testing.T) {
+	// A battery-less bus is physical (zero eclipse autonomy), and pricing
+	// it must not divide by zero: BatteryHours is exactly 0, never NaN.
+	bus := ThreeUBus()
+	bus.BatteryWh = 0
+	b, err := Evaluate(bus, orbit.Landsat8(epoch), hw.Orin15W,
+		estWithFrameTime(8*time.Second), 24*time.Second, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BatteryHours != 0 {
+		t.Fatalf("battery hours = %v, want 0", b.BatteryHours)
+	}
+	if math.IsNaN(b.BatteryHours) || math.IsNaN(b.LoadW) || math.IsNaN(b.MarginW) {
+		t.Fatalf("NaN in budget: %+v", b)
+	}
+	if b.Feasible() {
+		t.Fatal("no-battery bus passed the ride-through check")
+	}
+}
+
+func TestNegativeBatteryRejected(t *testing.T) {
+	bus := ThreeUBus()
+	bus.BatteryWh = -1
+	if err := bus.Validate(); !errors.Is(err, ErrInvalidBus) {
+		t.Fatalf("err = %v, want ErrInvalidBus", err)
+	}
+}
+
+func TestZeroLoadTypedError(t *testing.T) {
+	// No housekeeping draw, no compute, no radio: autonomy is 0/0. The
+	// evaluation must refuse with a typed error instead of returning NaN.
+	bus := Bus{SolarW: 17, BatteryWh: 40}
+	_, err := Evaluate(bus, orbit.Landsat8(epoch), hw.Orin15W,
+		estWithFrameTime(0), 24*time.Second, 0)
+	if !errors.Is(err, ErrZeroLoad) {
+		t.Fatalf("err = %v, want ErrZeroLoad", err)
+	}
+}
+
+func TestEvaluateTypedErrors(t *testing.T) {
+	e := orbit.Landsat8(epoch)
+	if _, err := Evaluate(Bus{}, e, hw.Orin15W, estWithFrameTime(time.Second), time.Second, 0); !errors.Is(err, ErrInvalidBus) {
+		t.Fatalf("bad bus: err = %v, want ErrInvalidBus", err)
+	}
+	if _, err := Evaluate(ThreeUBus(), e, hw.Orin15W, estWithFrameTime(time.Second), 0, 0); !errors.Is(err, ErrBadDeadline) {
+		t.Fatalf("zero deadline: err = %v, want ErrBadDeadline", err)
+	}
+	if _, err := Evaluate(ThreeUBus(), e, hw.Orin15W, estWithFrameTime(time.Second), time.Second, 1.5); !errors.Is(err, ErrBadDuty) {
+		t.Fatalf("bad radio duty: err = %v, want ErrBadDuty", err)
+	}
+	if _, err := Evaluate(ThreeUBus(), e, hw.Orin15W, estWithFrameTime(-time.Second), time.Second, 0); !errors.Is(err, ErrBadDuty) {
+		t.Fatalf("negative frame time: err = %v, want ErrBadDuty", err)
+	}
+}
+
+func TestDrawTypedErrors(t *testing.T) {
+	for _, duty := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := Draw(hw.Orin15W, duty); !errors.Is(err, ErrBadDuty) {
+			t.Fatalf("duty %v: err = %v, want ErrBadDuty", duty, err)
+		}
+	}
+	w, err := Draw(hw.Orin15W, 0.5)
+	if err != nil || w != 7.5 {
+		t.Fatalf("Draw(Orin, 0.5) = %v, %v", w, err)
+	}
+	if w, err := Draw(hw.Orin15W, 0); err != nil || w != 0 {
+		t.Fatalf("Draw(Orin, 0) = %v, %v", w, err)
+	}
+}
+
+func TestEnergyPerFrame(t *testing.T) {
+	// Busy time over the deadline is clamped: a bottlenecked processor
+	// spends at most one deadline of energy per frame.
+	j, err := EnergyPerFrame(hw.Orin15W, 8*time.Second, 24*time.Second)
+	if err != nil || j != 15*8 {
+		t.Fatalf("EnergyPerFrame = %v, %v", j, err)
+	}
+	j, err = EnergyPerFrame(hw.Orin15W, 247*time.Second, 24*time.Second)
+	if err != nil || j != 15*24 {
+		t.Fatalf("clamped EnergyPerFrame = %v, %v", j, err)
+	}
+	if _, err := EnergyPerFrame(hw.Orin15W, time.Second, 0); !errors.Is(err, ErrBadDeadline) {
+		t.Fatalf("zero deadline: err = %v, want ErrBadDeadline", err)
+	}
+	if _, err := EnergyPerFrame(hw.Orin15W, -time.Second, time.Second); !errors.Is(err, ErrBadDuty) {
+		t.Fatalf("negative busy: err = %v, want ErrBadDuty", err)
 	}
 }

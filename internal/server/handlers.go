@@ -13,6 +13,7 @@ import (
 
 	"kodan"
 	"kodan/internal/fault"
+	"kodan/internal/planner"
 	"kodan/internal/sim"
 	"kodan/internal/telemetry"
 )
@@ -38,6 +39,20 @@ type planRequest struct {
 	// TimeoutMs caps this request's processing time below the server's
 	// ceiling.
 	TimeoutMs int `json:"timeoutMs"`
+	// Mode selects the /v1/plan artifact: "" or "bundle" returns the
+	// deployment bundle; "hybrid" runs the space-ground execution planner
+	// and returns per-context placements.
+	Mode string `json:"mode"`
+	// GroundCost overrides the hybrid planner's ground-compute price per
+	// frame-fraction (nil = the default cost vector; 0 = free ground).
+	GroundCost *float64 `json:"groundCost"`
+	// BufferFrames overrides the hybrid deferral buffer in frame-size
+	// units (nil = 64; 0 disables deferral).
+	BufferFrames *float64 `json:"bufferFrames"`
+	// ContactGapFrames pins the mean frames between downlink contacts for
+	// hybrid planning. When 0 the server derives it from the reference
+	// mission simulation.
+	ContactGapFrames float64 `json:"contactGapFrames"`
 }
 
 // simulateRequest is the /v1/simulate request body.
@@ -216,12 +231,13 @@ func (s *Server) mission(ctx context.Context, days, sats int) (kodan.Mission, er
 			return nil, fmt.Errorf("simulation observed no frames")
 		}
 		return kodan.Mission{
-			Epoch:         s.cfg.SimEpoch,
-			FrameDeadline: cfg.Grid.FramePeriod(cfg.BaseOrbit),
-			FramesPerDay:  observed / float64(days),
-			CapacityFrac:  res.FrameCapacity() / observed,
-			FrameBits:     cfg.Camera.FrameBits(),
-			Prevalence:    0.48, // the Sentinel-like dataset's high-value split
+			Epoch:            s.cfg.SimEpoch,
+			FrameDeadline:    cfg.Grid.FramePeriod(cfg.BaseOrbit),
+			FramesPerDay:     observed / float64(days),
+			CapacityFrac:     res.FrameCapacity() / observed,
+			FrameBits:        cfg.Camera.FrameBits(),
+			Prevalence:       0.48, // the Sentinel-like dataset's high-value split
+			ContactGapFrames: planner.DeriveLink(res).FramesBetweenContacts,
 		}, nil
 	})
 	if err != nil {
@@ -381,8 +397,10 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 }
 
 // handlePlan generates (or reuses) the selection logic for an app x
-// target x deployment and returns the deployment bundle — the same
-// artifact ExportBundle writes, byte-identical across identical requests.
+// target x deployment. The default mode returns the deployment bundle —
+// the same artifact ExportBundle writes, byte-identical across identical
+// requests; mode "hybrid" runs the space-ground execution planner on top
+// of that selection logic and returns per-context placements.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req planRequest
 	if err := decode(r, &req); err != nil {
@@ -396,6 +414,20 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	target, err := parseTarget(req.Target)
 	if err != nil {
 		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	mode := strings.ToLower(strings.TrimSpace(req.Mode))
+	switch mode {
+	case "", "bundle":
+		if req.GroundCost != nil || req.BufferFrames != nil || req.ContactGapFrames != 0 {
+			writeJSONError(w, http.StatusBadRequest, "groundCost, bufferFrames, and contactGapFrames apply only to mode \"hybrid\"")
+			return
+		}
+	case "hybrid":
+		s.handleHybridPlan(w, r, req, target)
+		return
+	default:
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q (want bundle or hybrid)", req.Mode))
 		return
 	}
 	ctx, cancel := s.requestContext(r, req)
@@ -427,6 +459,142 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Kodan-Cache", src.String())
 	w.Write(v.([]byte)) //nolint:errcheck
+}
+
+// hybridPlanResponse is the /v1/plan mode=hybrid document.
+type hybridPlanResponse struct {
+	Seed             uint64            `json:"seed"`
+	App              int               `json:"app"`
+	Target           string            `json:"target"`
+	Mode             string            `json:"mode"`
+	TilesPerSide     int               `json:"tilesPerSide"`
+	DeadlineMs       float64           `json:"deadlineMs"`
+	CapacityFrac     float64           `json:"capacityFrac"`
+	GroundCost       float64           `json:"groundCost"`
+	BufferFrames     float64           `json:"bufferFrames"`
+	ContactGapFrames float64           `json:"contactGapFrames"`
+	Utility          float64           `json:"utility"`
+	DVD              float64           `json:"dvd"`
+	OnboardFrac      float64           `json:"onboardFrac"`
+	DownlinkFrac     float64           `json:"downlinkFrac"`
+	DeferFrac        float64           `json:"deferFrac"`
+	DropFrac         float64           `json:"dropFrac"`
+	EnergyPerFrameJ  float64           `json:"energyPerFrameJ"`
+	Placements       []hybridPlacement `json:"placements"`
+}
+
+// hybridPlacement is one context's placement in a hybrid plan.
+type hybridPlacement struct {
+	Context     int     `json:"context"`
+	TileFrac    float64 `json:"tileFrac"`
+	Base        string  `json:"base"`
+	Disposition string  `json:"disposition"`
+	Action      string  `json:"action"`
+}
+
+// hybridKey extends the plan-cache key with the hybrid knobs.
+func hybridKey(seed uint64, appIndex int, d kodan.Deployment, env kodan.PlannerEnv) string {
+	return fmt.Sprintf("%s|hybrid|%x|%x|%x", planKey(seed, appIndex, d),
+		math.Float64bits(env.Costs.GroundPerFrame),
+		math.Float64bits(env.BufferFrames),
+		math.Float64bits(env.FramesBetweenContacts))
+}
+
+// handleHybridPlan is /v1/plan mode=hybrid: the deployment's selection
+// logic re-placed by the hybrid space-ground planner. Results are cached
+// under the fully resolved deployment plus the planner knobs; each served
+// plan is counted in the shared telemetry registry.
+func (s *Server) handleHybridPlan(w http.ResponseWriter, r *http.Request, req planRequest, target kodan.Target) {
+	if req.GroundCost != nil && (*req.GroundCost < 0 || math.IsNaN(*req.GroundCost)) {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("groundCost must be >= 0, got %v", *req.GroundCost))
+		return
+	}
+	if req.BufferFrames != nil && (*req.BufferFrames < 0 || math.IsNaN(*req.BufferFrames)) {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bufferFrames must be >= 0, got %v", *req.BufferFrames))
+		return
+	}
+	if req.ContactGapFrames < 0 || math.IsNaN(req.ContactGapFrames) {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("contactGapFrames must be >= 0, got %v", req.ContactGapFrames))
+		return
+	}
+	ctx, cancel := s.requestContext(r, req)
+	defer cancel()
+
+	seed := s.seedOf(req)
+	d, err := s.deployment(ctx, req, target)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	env := kodan.PlannerEnv{
+		Bus:                   kodan.ThreeUBus(),
+		Costs:                 kodan.DefaultPlannerCosts(),
+		BufferFrames:          64,
+		FramesBetweenContacts: req.ContactGapFrames,
+	}
+	if req.ContactGapFrames == 0 {
+		m, err := s.mission(ctx, 1, 1)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		env.FramesBetweenContacts = m.ContactGapFrames
+	}
+	if req.GroundCost != nil {
+		env.Costs.GroundPerFrame = *req.GroundCost
+	}
+	if req.BufferFrames != nil {
+		env.BufferFrames = *req.BufferFrames
+	}
+
+	v, src, err := s.cache.Do(ctx, hybridKey(seed, req.App, d, env), func(cctx context.Context) (interface{}, error) {
+		app, _, err := s.application(cctx, seed, req.App)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := app.PlanHybrid(d, env)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := app.ProfileFor(plan.Tiling)
+		if err != nil {
+			return nil, err
+		}
+		resp := hybridPlanResponse{
+			Seed: seed, App: req.App, Target: target.String(), Mode: "hybrid",
+			TilesPerSide:     plan.Tiling.PerSide,
+			DeadlineMs:       float64(d.Deadline.Milliseconds()),
+			CapacityFrac:     d.CapacityFrac,
+			GroundCost:       env.Costs.GroundPerFrame,
+			BufferFrames:     env.BufferFrames,
+			ContactGapFrames: env.FramesBetweenContacts,
+			Utility:          plan.Eval.Utility,
+			DVD:              plan.Eval.DVD,
+			OnboardFrac:      plan.Eval.OnboardFrac,
+			DownlinkFrac:     plan.Eval.DownlinkFrac,
+			DeferFrac:        plan.Eval.DeferFrac,
+			DropFrac:         plan.Eval.DropFrac,
+			EnergyPerFrameJ:  plan.Eval.EnergyPerFrameJ,
+		}
+		for c, disp := range plan.Dispositions {
+			resp.Placements = append(resp.Placements, hybridPlacement{
+				Context:     c,
+				TileFrac:    prof.Contexts[c].TileFrac,
+				Base:        plan.Base.Actions[c].String(),
+				Disposition: disp.String(),
+				Action:      plan.Actions[c].String(),
+			})
+		}
+		return resp, nil
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := v.(hybridPlanResponse)
+	s.metrics.PlannerPlanned(resp.DeferFrac)
+	w.Header().Set("X-Kodan-Cache", src.String())
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // simulateResponse is the /v1/simulate document.

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// hybridBody is the canonical hybrid plan request: explicit deployment and
+// contact cadence so no orbital simulation is needed.
+func hybridBody(extra string) string {
+	return `{"app":4,"target":"orin","deadlineMs":24000,"capacityFrac":0.21,"mode":"hybrid","contactGapFrames":10` + extra + `}`
+}
+
+// TestPlanHybridEndpoint covers /v1/plan mode=hybrid end to end: a valid
+// plan document, caching across identical requests, and the planner
+// counters in the shared telemetry registry.
+func TestPlanHybridEndpoint(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := post(t, ts.Client(), ts.URL+"/v1/plan", hybridBody(""))
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var doc hybridPlanResponse
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bad response body: %v\n%s", err, data)
+	}
+	if doc.Mode != "hybrid" || doc.App != 4 || doc.ContactGapFrames != 10 {
+		t.Fatalf("document echo: %+v", doc)
+	}
+	if doc.BufferFrames != 64 || doc.GroundCost <= 0 {
+		t.Fatalf("defaults not applied: buffer %v ground %v", doc.BufferFrames, doc.GroundCost)
+	}
+	if len(doc.Placements) == 0 {
+		t.Fatal("no placements in plan")
+	}
+	var frac float64
+	for _, p := range doc.Placements {
+		frac += p.TileFrac
+		if p.Disposition == "" || p.Action == "" || p.Base == "" {
+			t.Fatalf("incomplete placement %+v", p)
+		}
+	}
+	if frac < 0.99 || frac > 1.01 {
+		t.Errorf("placement tile fractions sum to %.4f", frac)
+	}
+	if sum := doc.OnboardFrac + doc.DownlinkFrac + doc.DeferFrac + doc.DropFrac; sum < 0.99 || sum > 1.01 {
+		t.Errorf("placement mix sums to %.4f", sum)
+	}
+
+	// The identical request is a cache hit with byte-identical body.
+	resp2, data2 := post(t, ts.Client(), ts.URL+"/v1/plan", hybridBody(""))
+	if resp2.StatusCode != 200 || resp2.Header.Get("X-Kodan-Cache") != "hit" {
+		t.Fatalf("repeat: status %d cache %q", resp2.StatusCode, resp2.Header.Get("X-Kodan-Cache"))
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("cached hybrid plan not byte-identical")
+	}
+
+	// A different ground cost is a distinct cache entry.
+	resp3, _ := post(t, ts.Client(), ts.URL+"/v1/plan", hybridBody(`,"groundCost":0`))
+	if resp3.StatusCode != 200 || resp3.Header.Get("X-Kodan-Cache") == "hit" {
+		t.Fatalf("distinct knobs: status %d cache %q", resp3.StatusCode, resp3.Header.Get("X-Kodan-Cache"))
+	}
+
+	// Both served plans landed in the shared registry.
+	snap := s.Registry().Snapshot()
+	if got := snap.Counters["server.planner.plans"]; got != 3 {
+		t.Errorf("planner.plans = %d, want 3", got)
+	}
+	if h, ok := snap.Histograms["server.planner.defer_frac"]; !ok || h.Count != 3 {
+		t.Errorf("planner.defer_frac histogram = %+v", h)
+	}
+}
+
+// TestPlanHybridValidation covers the request rejections: unknown modes,
+// hybrid knobs on bundle requests, and unpriceable knob values.
+func TestPlanHybridValidation(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, body string
+	}{
+		{"unknown mode", `{"app":4,"target":"orin","mode":"orbit"}`},
+		{"groundCost without hybrid", `{"app":4,"target":"orin","groundCost":1}`},
+		{"bufferFrames without hybrid", `{"app":4,"target":"orin","mode":"bundle","bufferFrames":8}`},
+		{"contactGapFrames without hybrid", `{"app":4,"target":"orin","contactGapFrames":10}`},
+		{"negative groundCost", hybridBody(`,"groundCost":-1`)},
+		{"negative bufferFrames", hybridBody(`,"bufferFrames":-4`)},
+		{"negative contactGap", `{"app":4,"target":"orin","mode":"hybrid","contactGapFrames":-2}`},
+	}
+	for _, tc := range cases {
+		resp, data := post(t, ts.Client(), ts.URL+"/v1/plan", tc.body)
+		if resp.StatusCode != 400 {
+			t.Errorf("%s: status %d, want 400\n%s", tc.name, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestPlanHybridSingleFlight issues concurrent identical hybrid requests
+// and expects one computation: every response identical, sources limited
+// to miss/join/hit.
+func TestPlanHybridSingleFlight(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 4
+	bodies := make([][]byte, n)
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, data := post(t, ts.Client(), ts.URL+"/v1/plan", hybridBody(""))
+			codes[i] = resp.StatusCode
+			bodies[i] = data
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != 200 {
+			t.Fatalf("request %d: status %d: %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("request %d returned a different plan", i)
+		}
+	}
+}

@@ -34,6 +34,8 @@ type Metrics struct {
 	transformSeconds    *telemetry.Histogram
 	poolWaitSeconds     *telemetry.Histogram
 	poolOccupancy       *telemetry.Gauge
+	plannerPlans        *telemetry.Counter
+	plannerDeferFrac    *telemetry.Histogram
 }
 
 // routeStats accumulates one route's counters and a bounded latency
@@ -68,6 +70,8 @@ func NewMetrics(window int, reg *telemetry.Registry) *Metrics {
 		transformSeconds:    scope.Histogram("transform_seconds"),
 		poolWaitSeconds:     scope.Histogram("pool_wait_seconds"),
 		poolOccupancy:       scope.Gauge("pool_occupancy"),
+		plannerPlans:        scope.Counter("planner.plans"),
+		plannerDeferFrac:    scope.Histogram("planner.defer_frac"),
 	}
 }
 
@@ -115,6 +119,14 @@ func (m *Metrics) TransformDone(d time.Duration, outcome error, cancelled bool) 
 	default:
 		m.transformsFailed.Inc()
 	}
+}
+
+// PlannerPlanned records one served hybrid plan and the deferred fraction
+// it chose. Both land in the shared registry, so /metrics and the flight
+// recorder see hybrid-planning load and placement mix as time series.
+func (m *Metrics) PlannerPlanned(deferFrac float64) {
+	m.plannerPlans.Inc()
+	m.plannerDeferFrac.Observe(deferFrac)
 }
 
 // PoolAcquired records a successful worker-slot acquisition: how long the

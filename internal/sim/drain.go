@@ -1,0 +1,139 @@
+package sim
+
+import "time"
+
+// DrainStats summarizes a store-and-forward drain of deferred bits
+// through the constellation's granted contact schedule (DrainDeferred).
+// All bit totals are for the whole constellation over the simulated span.
+type DrainStats struct {
+	// DeliveredBits is the total backlog drained to the ground.
+	DeliveredBits float64
+	// DroppedBits is the backlog lost to on-board buffer overflow.
+	DroppedBits float64
+	// ResidualBits is the backlog still buffered when the span ends.
+	ResidualBits float64
+	// MeanLatency is the delivered-bit-weighted capture-to-delivery
+	// latency; zero when nothing was delivered.
+	MeanLatency time.Duration
+	// MaxLatency is the largest capture-to-delivery latency of any fully
+	// delivered frame's backlog.
+	MaxLatency time.Duration
+	// PeakBufferBits is the largest single-satellite buffer occupancy.
+	PeakBufferBits float64
+}
+
+// DrainDeferred replays the capture schedule against the granted contact
+// windows as a store-and-forward queue: every capture enqueues
+// bitsPerFrame of deferred backlog on its satellite, and each satellite
+// drains its queue FIFO at the radio's nominal rate whenever it holds a
+// grant. bufferBits caps the per-satellite backlog (tail-drop: the
+// overflowing part of an incoming frame is lost); zero or negative means
+// unbounded. This is the accounting behind the hybrid execution planner's
+// defer-to-ground disposition (internal/planner): deferred bits ride
+// later contact windows, and their end-to-end latency is the queueing
+// delay this replay measures.
+//
+// The drain is a pure function of the finished Result — deterministic,
+// independent of worker count, and free of any effect on the simulation
+// itself. Latency is charged at the instant a drained portion finishes
+// transmitting. Link-fade derates are not replayed here; faulted runs
+// already expose their capacity loss through DownlinkBits/FrameCapacity,
+// which is what planning consumes.
+func (r *Result) DrainDeferred(bitsPerFrame, bufferBits float64) DrainStats {
+	var s DrainStats
+	if bitsPerFrame <= 0 || r.Config.Radio.RateBps <= 0 {
+		return s
+	}
+	rate := r.Config.Radio.RateBps
+	epoch := r.Config.Epoch
+	spanEnd := r.Config.Span.Seconds()
+	sec := func(t time.Time) float64 { return t.Sub(epoch).Seconds() }
+
+	// Per-satellite grant lists, preserving the allocator's time order.
+	satGrants := make([][][2]float64, len(r.Captures))
+	for _, g := range r.Grants {
+		if g.Sat < 0 || g.Sat >= len(satGrants) {
+			continue
+		}
+		satGrants[g.Sat] = append(satGrants[g.Sat],
+			[2]float64{sec(g.Start), sec(g.End())})
+	}
+
+	var latBitSeconds float64
+	for sat, caps := range r.Captures {
+		type chunk struct{ t, bits float64 }
+		var queue []chunk
+		qi := 0
+		backlog := 0.0
+		ci := 0
+		// admit enqueues every capture up to now, applying the buffer cap.
+		admit := func(now float64) {
+			for ci < len(caps) && sec(caps[ci].Time) <= now {
+				t := sec(caps[ci].Time)
+				incoming := bitsPerFrame
+				if bufferBits > 0 && backlog+incoming > bufferBits {
+					s.DroppedBits += backlog + incoming - bufferBits
+					incoming = bufferBits - backlog
+				}
+				if incoming > 0 {
+					queue = append(queue, chunk{t: t, bits: incoming})
+					backlog += incoming
+					if backlog > s.PeakBufferBits {
+						s.PeakBufferBits = backlog
+					}
+				}
+				ci++
+			}
+		}
+		for _, g := range satGrants[sat] {
+			t := g[0]
+			admit(t)
+			for t < g[1] {
+				if qi >= len(queue) {
+					// Idle: jump to the next capture inside the grant.
+					if ci >= len(caps) || sec(caps[ci].Time) >= g[1] {
+						break
+					}
+					t = sec(caps[ci].Time)
+					admit(t)
+					continue
+				}
+				// Drain until the next capture arrives or the grant ends.
+				segEnd := g[1]
+				if ci < len(caps) {
+					if ct := sec(caps[ci].Time); ct > t && ct < segEnd {
+						segEnd = ct
+					}
+				}
+				for qi < len(queue) && t < segEnd {
+					c := &queue[qi]
+					d := (segEnd - t) * rate
+					if d > c.bits {
+						d = c.bits
+					}
+					t += d / rate
+					c.bits -= d
+					backlog -= d
+					s.DeliveredBits += d
+					lat := t - c.t
+					latBitSeconds += d * lat
+					if c.bits == 0 {
+						qi++
+						if l := time.Duration(lat * float64(time.Second)); l > s.MaxLatency {
+							s.MaxLatency = l
+						}
+					}
+				}
+				admit(t)
+			}
+		}
+		// Captures after the last grant still occupy (and can overflow)
+		// the buffer before the span ends.
+		admit(spanEnd)
+		s.ResidualBits += backlog
+	}
+	if s.DeliveredBits > 0 {
+		s.MeanLatency = time.Duration(latBitSeconds / s.DeliveredBits * float64(time.Second))
+	}
+	return s
+}

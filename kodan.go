@@ -48,7 +48,9 @@ import (
 	"kodan/internal/deploy"
 	"kodan/internal/hw"
 	"kodan/internal/imagery"
+	"kodan/internal/planner"
 	"kodan/internal/policy"
+	"kodan/internal/power"
 	"kodan/internal/sim"
 	"kodan/internal/tiling"
 	"kodan/internal/value"
@@ -89,14 +91,48 @@ const (
 	Orin15W   = hw.Orin15W
 )
 
-// Selection-logic actions.
+// Selection-logic actions. Deferred never comes out of the selection-logic
+// optimizer; it marks tiles the hybrid planner buffers for later contact
+// windows and ground processing.
 const (
 	Discard     = policy.Discard
 	Downlink    = policy.Downlink
 	Specialized = policy.Specialized
 	Merged      = policy.Merged
 	Generic     = policy.Generic
+	Deferred    = policy.Deferred
 )
+
+// Hybrid space-ground planning (internal/planner) identities.
+type (
+	// Disposition is a per-context placement decision of the hybrid
+	// planner.
+	Disposition = planner.Disposition
+	// HybridPlan is a hybrid execution plan: the base selection logic plus
+	// per-context placements and their accounting.
+	HybridPlan = planner.Plan
+	// PlannerCosts prices the hybrid placements in one currency.
+	PlannerCosts = planner.Costs
+	// PlannerEnv is the hybrid planner's view of the deployment: bus,
+	// costs, buffer, and contact cadence.
+	PlannerEnv = planner.Env
+	// Bus is a satellite electrical power system.
+	Bus = power.Bus
+)
+
+// Hybrid placements.
+const (
+	PlaceOnboard     = planner.Onboard
+	PlaceDownlinkNow = planner.DownlinkNow
+	PlaceDefer       = planner.Defer
+	PlaceDrop        = planner.Drop
+)
+
+// DefaultPlannerCosts returns the reference hybrid-planner pricing.
+func DefaultPlannerCosts() PlannerCosts { return planner.DefaultCosts() }
+
+// ThreeUBus returns the reference 3U cubesat electrical bus.
+func ThreeUBus() Bus { return power.ThreeUBus() }
 
 // Targets returns the paper's hardware targets in Table 1 order.
 func Targets() []Target { return hw.Targets() }
@@ -188,6 +224,22 @@ func (a *Application) Arch() Architecture { return a.art.Arch }
 // SelectionLogic generates the deployment's selection logic.
 func (a *Application) SelectionLogic(d Deployment) (Selection, Estimate) {
 	return a.art.SelectionLogic(d)
+}
+
+// PlanHybrid generates the deployment's selection logic, then re-places
+// each context among on-board execution, immediate raw downlink, deferred
+// ground processing, and drop under env's cost model (see
+// internal/planner). The selection-logic half of env is always derived
+// from d; only the bus, costs, buffer, and contact cadence are read from
+// env (Mission.HybridEnv supplies reference values).
+func (a *Application) PlanHybrid(d Deployment, env PlannerEnv) (HybridPlan, error) {
+	sel, _ := a.art.SelectionLogic(d)
+	prof, err := a.art.Profile(sel.Tiling)
+	if err != nil {
+		return HybridPlan{}, err
+	}
+	env.Policy = d.Env(a.art.Arch)
+	return planner.Decide(prof, sel, env)
 }
 
 // BentPipe evaluates the bent-pipe baseline in the same environment.
@@ -289,6 +341,10 @@ type Mission struct {
 	// Prevalence is the dataset's high-value pixel fraction (bent-pipe
 	// DVD).
 	Prevalence float64
+	// ContactGapFrames is the mean number of frames captured between
+	// successive downlink contacts — the store-and-forward holding the
+	// hybrid planner charges against its deferral buffer.
+	ContactGapFrames float64
 }
 
 // LandsatMission simulates one day of the Landsat 8 reference mission
@@ -305,12 +361,13 @@ func LandsatMission(epoch time.Time) (Mission, error) {
 	deadline := grid.FramePeriod(res.Config.BaseOrbit)
 	observed := float64(res.FramesObserved())
 	return Mission{
-		Epoch:         epoch,
-		FrameDeadline: deadline,
-		FramesPerDay:  observed,
-		CapacityFrac:  res.FrameCapacity() / observed,
-		FrameBits:     im.FrameBits(),
-		Prevalence:    0.48, // the Sentinel-like dataset's high-value split
+		Epoch:            epoch,
+		FrameDeadline:    deadline,
+		FramesPerDay:     observed,
+		CapacityFrac:     res.FrameCapacity() / observed,
+		FrameBits:        im.FrameBits(),
+		Prevalence:       0.48, // the Sentinel-like dataset's high-value split
+		ContactGapFrames: planner.DeriveLink(res).FramesBetweenContacts,
 	}, nil
 }
 
@@ -322,6 +379,20 @@ func (m Mission) Deployment(t Target) Deployment {
 		Deadline:     m.FrameDeadline,
 		CapacityFrac: m.CapacityFrac,
 		FillIdle:     true,
+	}
+}
+
+// HybridEnv builds the hybrid planner's environment on this mission: the
+// reference 3U bus, the default cost vector, a 64-frame deferral buffer,
+// and the mission's contact cadence. The selection-logic half is filled in
+// by Application.PlanHybrid from the deployment; tune Costs and
+// BufferFrames on the returned value before planning.
+func (m Mission) HybridEnv() PlannerEnv {
+	return PlannerEnv{
+		Bus:                   ThreeUBus(),
+		Costs:                 DefaultPlannerCosts(),
+		BufferFrames:          64,
+		FramesBetweenContacts: m.ContactGapFrames,
 	}
 }
 

@@ -205,3 +205,70 @@ func TestImportSelectionHostileInputs(t *testing.T) {
 		})
 	}
 }
+
+// TestPlanHybridFromPublicAPI exercises the hybrid planner facade: a plan
+// over the tiny system's contexts, placement/action consistency, and the
+// mission-derived environment helper.
+func TestPlanHybridFromPublicAPI(t *testing.T) {
+	sys := testSystem(t)
+	a, err := sys.Transform(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Deployment{Target: Orin15W, Deadline: 24 * time.Second, CapacityFrac: 0.21, FillIdle: true}
+	env := PlannerEnv{
+		Bus:                   ThreeUBus(),
+		Costs:                 DefaultPlannerCosts(),
+		BufferFrames:          64,
+		FramesBetweenContacts: 10,
+	}
+	plan, err := a.PlanHybrid(d, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Dispositions) == 0 || len(plan.Dispositions) != len(plan.Actions) ||
+		len(plan.Dispositions) != len(plan.Base.Actions) {
+		t.Fatalf("plan shape: %d dispositions, %d actions, %d base actions",
+			len(plan.Dispositions), len(plan.Actions), len(plan.Base.Actions))
+	}
+	for i, disp := range plan.Dispositions {
+		switch disp {
+		case PlaceOnboard:
+			if plan.Actions[i] != plan.Base.Actions[i] {
+				t.Errorf("context %d: onboard action %v != base %v", i, plan.Actions[i], plan.Base.Actions[i])
+			}
+		case PlaceDownlinkNow:
+			if plan.Actions[i] != Downlink {
+				t.Errorf("context %d: downlink-now mapped to %v", i, plan.Actions[i])
+			}
+		case PlaceDefer:
+			if plan.Actions[i] != Deferred {
+				t.Errorf("context %d: defer mapped to %v", i, plan.Actions[i])
+			}
+		case PlaceDrop:
+			if plan.Actions[i] != Discard {
+				t.Errorf("context %d: drop mapped to %v", i, plan.Actions[i])
+			}
+		}
+	}
+	ev := plan.Eval
+	if sum := ev.OnboardFrac + ev.DownlinkFrac + ev.DeferFrac + ev.DropFrac; sum < 0.99 || sum > 1.01 {
+		t.Errorf("placement fractions sum to %.4f", sum)
+	}
+
+	// The mission helper carries the contact cadence into the planner env.
+	m, err := LandsatMission(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ContactGapFrames < 1 {
+		t.Fatalf("mission contact gap = %.2f frames", m.ContactGapFrames)
+	}
+	menv := m.HybridEnv()
+	if menv.FramesBetweenContacts != m.ContactGapFrames || menv.BufferFrames != 64 {
+		t.Fatalf("HybridEnv = %+v", menv)
+	}
+	if _, err := a.PlanHybrid(m.Deployment(Orin15W), menv); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -51,9 +51,9 @@ echo "    total coverage ${total}% (threshold ${threshold}%)"
 # and prove the synthetic-regression switch exits nonzero. Mirrored in
 # .github/workflows/ci.yml.
 echo "==> kodan-bench baseline smoke"
-go run ./cmd/kodan-bench -size quick -only table1,fig2,resilience \
+go run ./cmd/kodan-bench -size quick -only table1,fig2,resilience,hybridplan \
     -json "$smokedir" -timings "$smokedir/baseline.json" > /dev/null
-go run ./cmd/kodan-bench -size quick -only table1,fig2,resilience \
+go run ./cmd/kodan-bench -size quick -only table1,fig2,resilience,hybridplan \
     -baseline "$smokedir/baseline.json" -regress-threshold 4 > /dev/null
 if go run ./cmd/kodan-bench -size quick -only table1 \
     -baseline "$smokedir/baseline.json" -regress-threshold -1 > /dev/null 2>&1; then
