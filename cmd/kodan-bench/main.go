@@ -95,6 +95,10 @@ func generators(lab *experiments.Lab) []generator {
 				fmt.Sprintf("headline: Kodan improves DVD %.0f%%..%.0f%% over the bent pipe (paper: 89-97%%)\n",
 					lo*100, hi*100), rows, nil
 		}},
+		{"fig8q", func(ctx context.Context) (string, interface{}, error) {
+			rows, err := lab.Figure8QuantizedCtx(ctx)
+			return experiments.RenderFigure8Quantized(rows), rows, err
+		}},
 		{"fig9", func(ctx context.Context) (string, interface{}, error) {
 			rows, err := lab.Figure9Ctx(ctx)
 			return experiments.RenderFigure9(rows), rows, err

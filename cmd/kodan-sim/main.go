@@ -6,6 +6,7 @@
 //
 //	kodan-sim [-sats 4] [-hours 24] [-planes 1] [-camera ms|hyper] [-parallel N]
 //	          [-faults FILE | -fault-intensity X [-fault-seed N]]
+//	          [-transform-app N [-quantized]]
 //	          [-trace FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -parallel bounds the per-satellite propagation worker pool (0 =
@@ -24,6 +25,13 @@
 // stderr. -cpuprofile and -memprofile write pprof profiles. None of the
 // three changes the ledgers: telemetry observes the run, it never feeds
 // back into it.
+//
+// -transform-app N runs a demo-scale Kodan transformation for Table 1
+// application N after the simulation and prints the selection logic and
+// expected data value density the simulated mission would deploy with;
+// -quantized routes the transform's inference (including the quality
+// measurement the selection logic prices) through the int8 quantized hot
+// path and is rejected without -transform-app.
 //
 // -plan hybrid runs the space-ground execution planner (internal/planner)
 // over the simulated link: the capture stream, split into eight equal
@@ -50,6 +58,8 @@ import (
 	"syscall"
 	"time"
 
+	"kodan/internal/app"
+	"kodan/internal/core"
 	"kodan/internal/fault"
 	"kodan/internal/hw"
 	"kodan/internal/planner"
@@ -69,6 +79,8 @@ type simFlags struct {
 	bufferFrames        float64
 	faultsFile          string
 	faultIntensity      float64
+	transformApp        int
+	quantized           bool
 }
 
 // validateFlags rejects contradictory flag combinations before any work
@@ -114,6 +126,12 @@ func validateFlags(explicitly map[string]bool, f simFlags) error {
 	if f.faultIntensity < 0 {
 		return fmt.Errorf("-fault-intensity must be >= 0, got %g", f.faultIntensity)
 	}
+	if f.transformApp != 0 && (f.transformApp < 1 || f.transformApp > len(app.Apps())) {
+		return fmt.Errorf("-transform-app must be 1..%d, got %d", len(app.Apps()), f.transformApp)
+	}
+	if f.quantized && f.transformApp == 0 {
+		return fmt.Errorf("-quantized has no effect without -transform-app")
+	}
 	return nil
 }
 
@@ -155,6 +173,8 @@ func main() {
 	faultsFile := flag.String("faults", "", "load a fault schedule (JSON) and run the mission degraded")
 	faultIntensity := flag.Float64("fault-intensity", 0, "generate a fault schedule at this intensity (0 = none, 1 = paper scale)")
 	faultSeed := flag.Uint64("fault-seed", 2023, "seed for -fault-intensity schedule generation")
+	transformApp := flag.Int("transform-app", 0, "after the simulation, transform this Table 1 application (1-7) for the simulated mission (0 = off)")
+	quantized := flag.Bool("quantized", false, "with -transform-app: run the transform's inference through the int8 quantized path")
 	verbose := flag.Bool("v", false, "structured debug logs (slog) to stderr")
 	traceFile := flag.String("trace", "", "write a JSONL span trace to this file and print a summary to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -168,6 +188,7 @@ func main() {
 		camera: *camera, plan: *plan,
 		groundCost: *groundCost, bufferFrames: *bufferFrames,
 		faultsFile: *faultsFile, faultIntensity: *faultIntensity,
+		transformApp: *transformApp, quantized: *quantized,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -270,6 +291,58 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+
+	if *transformApp != 0 {
+		if err := printTransform(ctx, res, cfg, *transformApp, *quantized); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// printTransform runs a demo-scale Kodan transformation for one Table 1
+// application and prints the selection logic the simulated mission would
+// fly: the deadline and downlink capacity come from the run above, so a
+// degraded (fault-injected) link produces a different deployment than a
+// clean one. With quantized set, every model also derives its int8 twin
+// and the quality measurement prices the quantization error into the
+// selection. The dataset is sized well below the paper scale (60 frames,
+// two tilings) to keep the CLI interactive; use kodan-transform or
+// kodan-bench for the full-scale transformation.
+func printTransform(ctx context.Context, res *sim.Result, cfg sim.Config, appIdx int, quantized bool) error {
+	tcfg := core.DefaultConfig(2023)
+	tcfg.Frames = 60
+	tcfg.TileRes = 16
+	tcfg.Tilings = []tiling.Tiling{{PerSide: 3}, {PerSide: 11}}
+
+	variant := "float"
+	if quantized {
+		variant = "int8 quantized"
+	}
+	fmt.Printf("\ntransforming App %d for the simulated mission (%s inference, demo scale)...\n", appIdx, variant)
+	ws, err := core.NewWorkspaceCtx(ctx, tcfg)
+	if err != nil {
+		return err
+	}
+	art, err := ws.WithQuantized(quantized).TransformAppCtx(ctx, app.App(appIdx))
+	if err != nil {
+		return err
+	}
+	obs := float64(res.FramesObserved())
+	d := core.Deployment{
+		Target:       hw.Orin15W,
+		Deadline:     cfg.Grid.FramePeriod(cfg.BaseOrbit),
+		CapacityFrac: res.FrameCapacity() / obs,
+		FillIdle:     true,
+	}
+	sel, est := art.SelectionLogic(d)
+	bent := policy.EvaluateBentPipe(art.Profiles[0].Prevalence(), d.Env(art.Arch))
+	fmt.Printf("  selection logic on %v: tiling %v\n", d.Target, sel.Tiling)
+	for c, a := range sel.Actions {
+		fmt.Printf("    C%d %-18s -> %v\n", c, ws.Ctx.Stats[c].Name, a)
+	}
+	fmt.Printf("  expected frame time %.1f s (deadline %.1f s), DVD %.3f (bent pipe %.3f, %+.0f%%)\n",
+		est.FrameTime.Seconds(), d.Deadline.Seconds(), est.DVD, bent.DVD, 100*(est.DVD/bent.DVD-1))
+	return nil
 }
 
 // printHybridPlan places the capture stream with the hybrid planner

@@ -44,6 +44,12 @@ func TestValidateFlags(t *testing.T) {
 			mutate: func(f *simFlags) { f.faultsFile = "x.json"; f.faultIntensity = 0.5 }, wantErr: "mutually exclusive"},
 		{name: "negative intensity", explicitly: []string{"fault-intensity"},
 			mutate: func(f *simFlags) { f.faultIntensity = -0.5 }, wantErr: "-fault-intensity"},
+		{name: "quantized without transform-app", explicitly: []string{"quantized"},
+			mutate: func(f *simFlags) { f.quantized = true }, wantErr: "without -transform-app"},
+		{name: "transform-app out of range", explicitly: []string{"transform-app"},
+			mutate: func(f *simFlags) { f.transformApp = 9 }, wantErr: "-transform-app"},
+		{name: "quantized transform", explicitly: []string{"transform-app", "quantized"},
+			mutate: func(f *simFlags) { f.transformApp = 4; f.quantized = true }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

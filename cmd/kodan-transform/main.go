@@ -5,10 +5,16 @@
 //
 // Usage:
 //
-//	kodan-transform [-app 4] [-target orin|i7|1070ti] [-seed 2023] [-frames 120] [-bundle out.json]
+//	kodan-transform [-app 4] [-target orin|i7|1070ti] [-seed 2023] [-frames 120] [-quantized] [-bundle out.json]
+//
+// -quantized derives int8 twins of every trained model and routes all
+// suite predictions — the quality measurement the selection logic prices
+// included — through the quantized hot path. Training stays float, so the
+// flag isolates exactly the inference-path change.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +31,7 @@ func main() {
 	targetFlag := flag.String("target", "orin", "hardware target: 1070ti, i7, or orin")
 	seed := flag.Uint64("seed", 2023, "transformation seed")
 	frames := flag.Int("frames", 120, "representative dataset size in frames")
+	quantized := flag.Bool("quantized", false, "measure and deploy the int8 quantized inference path")
 	bundleOut := flag.String("bundle", "", "write the deployment bundle (JSON) to this path")
 	flag.Parse()
 
@@ -61,8 +68,12 @@ func main() {
 		fmt.Printf("    C%d %-18s tiles=%-4d high-value=%.2f\n", i, c.Name, c.Count, c.HighValueFrac)
 	}
 
-	fmt.Printf("\ntraining and measuring App %d across tilings...\n", *appIdx)
-	app, err := sys.Transform(*appIdx)
+	variant := "float"
+	if *quantized {
+		variant = "int8 quantized"
+	}
+	fmt.Printf("\ntraining and measuring App %d across tilings (%s inference)...\n", *appIdx, variant)
+	app, err := sys.TransformVariantCtx(context.Background(), *appIdx, *quantized)
 	if err != nil {
 		log.Fatal(err)
 	}

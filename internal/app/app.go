@@ -24,6 +24,7 @@ package app
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"kodan/internal/ctxengine"
 	"kodan/internal/dataset"
@@ -112,7 +113,13 @@ type Model struct {
 	// generic (reference) model.
 	Context int
 	net     *nn.Net
+	// qnet is the int8 twin derived post-training when the suite was built
+	// with TrainOptions.Quantized; predictions then run the integer path.
+	qnet *nn.QuantizedNet
 }
+
+// Quantized reports whether this model predicts through the int8 path.
+func (m *Model) Quantized() bool { return m.qnet != nil }
 
 // TrainOptions control suite construction.
 type TrainOptions struct {
@@ -124,7 +131,18 @@ type TrainOptions struct {
 	Train nn.TrainConfig
 	// Augment mirrors training tiles (the paper's data augmentation).
 	Augment bool
+	// Quantized derives an int8 quantized twin of every trained model
+	// (nn.Quantize) and runs all suite predictions — quality measurement
+	// included — through it, so the measured confusions price the
+	// quantization error into the selection logic. Training itself stays
+	// float; the same RNG stream is consumed either way.
+	Quantized bool
 }
+
+// quantCalibSamples caps the activation-calibration sample Quantize sees:
+// the first rows of the model's own training set, enough to bound the
+// per-layer activation range without re-walking the full split.
+const quantCalibSamples = 256
 
 // DefaultTrainOptions returns options sized for the transformation step.
 func DefaultTrainOptions() TrainOptions {
@@ -153,8 +171,20 @@ func buildInput(t *imagery.Tile, p int, a Architecture, rng *xrand.Rand, dst []f
 // between training epochs; on cancellation the partially trained model is
 // discarded and ctx.Err() returned.
 func trainModel(ctx context.Context, a Architecture, contextIdx int, tiles []*imagery.Tile, opts TrainOptions, rng *xrand.Rand) (*Model, error) {
-	var xs [][]float64
-	var ys []float64
+	// Size the sample up front so the inputs live in one flat backing
+	// array: one allocation instead of one per sample, and sequential
+	// training reads.
+	total := 0
+	for _, t := range tiles {
+		n := opts.PixelsPerTile
+		if n > t.Pixels() {
+			n = t.Pixels()
+		}
+		total += n
+	}
+	xs := make([][]float64, 0, total)
+	ys := make([]float64, 0, total)
+	flat := make([]float64, total*inputDim)
 	sampleRng := rng.Split()
 	for _, t := range tiles {
 		n := opts.PixelsPerTile
@@ -163,7 +193,9 @@ func trainModel(ctx context.Context, a Architecture, contextIdx int, tiles []*im
 		}
 		for i := 0; i < n; i++ {
 			p := sampleRng.Intn(t.Pixels())
-			xs = append(xs, buildInput(t, p, a, sampleRng, nil))
+			in := flat[len(xs)*inputDim : (len(xs)+1)*inputDim]
+			buildInput(t, p, a, sampleRng, in)
+			xs = append(xs, in)
 			y := 0.0
 			if t.Truth[p] {
 				y = 1
@@ -177,7 +209,54 @@ func trainModel(ctx context.Context, a Architecture, contextIdx int, tiles []*im
 			return nil, err
 		}
 	}
-	return &Model{Arch: a, Context: contextIdx, net: net}, nil
+	m := &Model{Arch: a, Context: contextIdx, net: net}
+	if opts.Quantized {
+		calib := xs
+		if len(calib) > quantCalibSamples {
+			calib = calib[:quantCalibSamples]
+		}
+		m.qnet = net.Quantize(calib)
+	}
+	return m, nil
+}
+
+// predictScratch carries the reusable buffers of one batched tile
+// prediction: the flat input block, its per-row views, the probability
+// outputs, and the sampled pixel indices.
+type predictScratch struct {
+	flat  []float64
+	xs    [][]float64
+	probs []float64
+	pix   []int
+}
+
+// predictPool recycles prediction scratch across tiles and models (the
+// input dimension is a package constant), so steady-state tile traversal
+// allocates nothing.
+var predictPool = sync.Pool{New: func() interface{} { return new(predictScratch) }}
+
+// grow ensures capacity for n rows.
+func (s *predictScratch) grow(n int) {
+	if cap(s.probs) >= n {
+		return
+	}
+	s.flat = make([]float64, n*inputDim)
+	s.xs = make([][]float64, n)
+	for i := range s.xs {
+		s.xs[i] = s.flat[i*inputDim : (i+1)*inputDim]
+	}
+	s.probs = make([]float64, n)
+	s.pix = make([]int, n)
+}
+
+// predictBatch routes a prepared input batch through the model's active
+// inference path (float, or int8 when quantized).
+func (m *Model) predictBatch(xs [][]float64, out []float64) {
+	if m.qnet != nil {
+		m.qnet.PredictBatch(xs, out)
+		return
+	}
+	m.net.PredictBatch(xs, out)
 }
 
 // PredictTile classifies every pixel of a tile, returning the predicted
@@ -185,21 +264,38 @@ func trainModel(ctx context.Context, a Architecture, contextIdx int, tiles []*im
 // architecture noise draw (pass a deterministic stream).
 func (m *Model) PredictTile(t *imagery.Tile, rng *xrand.Rand) ([]bool, nn.Confusion) {
 	mask := make([]bool, t.Pixels())
+	return mask, m.PredictTileInto(t, rng, mask)
+}
+
+// PredictTileInto is PredictTile writing into a caller-owned mask with at
+// least t.Pixels() elements: inputs for the whole tile are staged in
+// pooled buffers and predicted as one batch, so steady-state calls
+// allocate nothing. The noise draws, predictions, and confusion are
+// identical to the per-pixel path.
+func (m *Model) PredictTileInto(t *imagery.Tile, rng *xrand.Rand, mask []bool) nn.Confusion {
+	n := t.Pixels()
+	s := predictPool.Get().(*predictScratch)
+	s.grow(n)
+	for p := 0; p < n; p++ {
+		buildInput(t, p, m.Arch, rng, s.xs[p])
+	}
+	m.predictBatch(s.xs[:n], s.probs)
 	var c nn.Confusion
-	in := make([]float64, inputDim)
-	for p := 0; p < t.Pixels(); p++ {
-		buildInput(t, p, m.Arch, rng, in)
-		pred := m.net.PredictBinary(in) > 0.5
+	for p := 0; p < n; p++ {
+		pred := s.probs[p] > 0.5
 		mask[p] = pred
 		c.Add(pred, t.Truth[p])
 	}
-	return mask, c
+	predictPool.Put(s)
+	return c
 }
 
-// evalModel measures a model's confusion over sampled pixels of the tiles.
+// evalModel measures a model's confusion over sampled pixels of the tiles,
+// one batched prediction per tile.
 func evalModel(m *Model, tiles []*imagery.Tile, perTile int, rng *xrand.Rand) nn.Confusion {
 	var c nn.Confusion
-	in := make([]float64, inputDim)
+	s := predictPool.Get().(*predictScratch)
+	s.grow(perTile)
 	for _, t := range tiles {
 		n := perTile
 		if n > t.Pixels() {
@@ -207,10 +303,15 @@ func evalModel(m *Model, tiles []*imagery.Tile, perTile int, rng *xrand.Rand) nn
 		}
 		for i := 0; i < n; i++ {
 			p := rng.Intn(t.Pixels())
-			buildInput(t, p, m.Arch, rng, in)
-			c.Add(m.net.PredictBinary(in) > 0.5, t.Truth[p])
+			s.pix[i] = p
+			buildInput(t, p, m.Arch, rng, s.xs[i])
+		}
+		m.predictBatch(s.xs[:n], s.probs)
+		for i := 0; i < n; i++ {
+			c.Add(s.probs[i] > 0.5, t.Truth[s.pix[i]])
 		}
 	}
+	predictPool.Put(s)
 	return c
 }
 
@@ -259,6 +360,37 @@ func BuildSuite(a Architecture, tl tiling.Tiling, train, val *dataset.Dataset, c
 	return suite
 }
 
+// SuiteData is the tiling-level training input of a suite build, prepared
+// once and shared across applications: augmenting the training split and
+// running the context engine over every tile are application-independent,
+// so a workspace sweeping seven applications per tiling prepares each
+// tiling once instead of seven times.
+type SuiteData struct {
+	// Train is the training split, already augmented when requested.
+	Train *dataset.Dataset
+	// Val is the validation split.
+	Val *dataset.Dataset
+	// TrainLabels and ValLabels are the engine's context labels for the
+	// corresponding splits.
+	TrainLabels []int
+	ValLabels   []int
+}
+
+// PrepareSuiteData augments (when requested) and labels a split pair for
+// repeated BuildSuiteData calls.
+func PrepareSuiteData(train, val *dataset.Dataset, ctx *ctxengine.Set, augment bool) SuiteData {
+	td := train
+	if augment {
+		td = train.Augment()
+	}
+	return SuiteData{
+		Train:       td,
+		Val:         val,
+		TrainLabels: ctx.LabelAll(td),
+		ValLabels:   ctx.LabelAll(val),
+	}
+}
+
 // BuildSuiteCtx is BuildSuite with cooperative cancellation: cc is checked
 // between model trainings (and, via nn.FitCtx, between epochs). A run that
 // completes is bit-identical to BuildSuite with the same inputs.
@@ -266,12 +398,20 @@ func BuildSuiteCtx(cc context.Context, a Architecture, tl tiling.Tiling, train, 
 	if opts.PixelsPerTile <= 0 {
 		opts = DefaultTrainOptions()
 	}
-	trainData := train
-	if opts.Augment {
-		trainData = train.Augment()
+	return BuildSuiteData(cc, a, tl, PrepareSuiteData(train, val, ctx, opts.Augment), ctx, opts, rng)
+}
+
+// BuildSuiteData is BuildSuiteCtx over pre-augmented, pre-labeled splits
+// (see PrepareSuiteData); data preparation is deterministic, so the result
+// is bit-identical to BuildSuiteCtx on the raw splits.
+func BuildSuiteData(cc context.Context, a Architecture, tl tiling.Tiling, data SuiteData, ctx *ctxengine.Set, opts TrainOptions, rng *xrand.Rand) (*Suite, error) {
+	if opts.PixelsPerTile <= 0 {
+		opts = DefaultTrainOptions()
 	}
-	trainLabels := ctx.LabelAll(trainData)
-	valLabels := ctx.LabelAll(val)
+	trainData := data.Train
+	trainLabels := data.TrainLabels
+	val := data.Val
+	valLabels := data.ValLabels
 
 	allTiles := make([]*imagery.Tile, trainData.Len())
 	byCtx := make([][]*imagery.Tile, ctx.K)

@@ -15,6 +15,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"kodan/internal/app"
@@ -50,6 +51,13 @@ type Config struct {
 	Context ctxengine.Config
 	// Augment enables flip augmentation during model training.
 	Augment bool
+	// Quantized derives an int8 twin of every trained model and routes all
+	// suite predictions — including the quality measurement that feeds the
+	// selection logic — through it, so quantization error is priced into
+	// the deployment decision. Training itself stays float either way, and
+	// the RNG stream is unchanged, so a quantized transform differs from
+	// its float sibling only in the measured confusions.
+	Quantized bool
 }
 
 // DefaultConfig returns the reproduction's standard transformation sizing.
@@ -67,9 +75,30 @@ func DefaultConfig(seed uint64) Config {
 	}
 }
 
-// split holds one tiling's train/validation datasets.
+// split holds one tiling's train/validation datasets plus the lazily
+// prepared (augmented + context-labeled) form shared by every application
+// transformed on this workspace.
 type split struct {
 	train, val *dataset.Dataset
+
+	once sync.Once
+	// prep is the augmented/labeled suite input, built on first use.
+	prep app.SuiteData
+	// trainLabels are the engine labels of the raw (un-augmented) training
+	// split — Augment appends flipped copies after the originals, so this
+	// is a prefix view of prep.TrainLabels.
+	trainLabels []int
+}
+
+// prepared returns the memoized suite input, labeling the split on first
+// call. Preparation is deterministic, so memoization cannot change results
+// — it only removes the per-application relabeling cost.
+func (s *split) prepared(w *Workspace) app.SuiteData {
+	s.once.Do(func() {
+		s.prep = app.PrepareSuiteData(s.train, s.val, w.Ctx, w.Cfg.Augment)
+		s.trainLabels = s.prep.TrainLabels[:s.train.Len()]
+	})
+	return s.prep
 }
 
 // Workspace holds the application-independent transformation state.
@@ -79,7 +108,20 @@ type Workspace struct {
 	// tiling's training split.
 	Ctx *ctxengine.Set
 	// data maps tiles-per-side to that tiling's datasets.
-	data map[int]split
+	data map[int]*split
+}
+
+// WithQuantized returns a workspace identical to w except for the
+// Quantized flag, sharing the rendered datasets, memoized preparation,
+// and context engine. Transforms from the two workspaces consume
+// identical RNG streams and differ only in measured model quality.
+func (w *Workspace) WithQuantized(q bool) *Workspace {
+	if w.Cfg.Quantized == q {
+		return w
+	}
+	cp := *w
+	cp.Cfg.Quantized = q
+	return &cp
 }
 
 // NewWorkspace renders the datasets for every candidate tiling and builds
@@ -98,7 +140,7 @@ func NewWorkspaceCtx(ctx context.Context, cfg Config) (*Workspace, error) {
 	}
 	ctx, span := telemetry.StartSpan(ctx, "transform.workspace")
 	defer span.End()
-	w := &Workspace{Cfg: cfg, data: make(map[int]split)}
+	w := &Workspace{Cfg: cfg, data: make(map[int]*split)}
 	for _, tl := range cfg.Tilings {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -115,7 +157,7 @@ func NewWorkspaceCtx(ctx context.Context, cfg Config) (*Workspace, error) {
 		}
 		rng := xrand.New(cfg.Seed ^ 0x5eed5011)
 		train, val := ds.Split(cfg.ValFrac, rng)
-		w.data[tl.PerSide] = split{train: train, val: val}
+		w.data[tl.PerSide] = &split{train: train, val: val}
 		sp.End()
 	}
 
@@ -191,10 +233,11 @@ func (w *Workspace) TransformAppCtx(ctx context.Context, arch app.Architecture) 
 		s := w.data[tl.PerSide]
 		opts := app.DefaultTrainOptions()
 		opts.Augment = w.Cfg.Augment
+		opts.Quantized = w.Cfg.Quantized
 		opts.PixelsPerTile = perTileBudget(w.Cfg.PixelsPerFrame, tl)
 		opts.EvalPixelsPerTile = perTileBudget(w.Cfg.EvalPixelsPerFrame, tl)
 		rng := xrand.New(w.Cfg.Seed ^ uint64(arch.Index)<<32 ^ uint64(tl.PerSide))
-		suite, err := app.BuildSuiteCtx(tctx, arch, tl, s.train, s.val, w.Ctx, opts, rng)
+		suite, err := app.BuildSuiteData(tctx, arch, tl, s.prepared(w), w.Ctx, opts, rng)
 		if err != nil {
 			sp.End()
 			return nil, err
@@ -222,7 +265,8 @@ func perTileBudget(perFrame int, tl tiling.Tiling) int {
 // engine partition of its training data and the suite's measured quality.
 func (w *Workspace) profile(tl tiling.Tiling, suite *app.Suite) policy.TilingProfile {
 	s := w.data[tl.PerSide]
-	labels := w.Ctx.LabelAll(s.train)
+	s.prepared(w)
+	labels := s.trainLabels
 	k := w.Ctx.K
 	counts := make([]int, k)
 	hv := make([]float64, k)

@@ -202,9 +202,17 @@ func Build(train *dataset.Dataset, cfg Config, rng *xrand.Rand) (*Set, error) {
 	return set, nil
 }
 
-// Classify assigns a context to a tile at runtime.
+// Classify assigns a context to a tile at runtime. The hot path scales
+// the tile summary into a stack buffer rather than through applyScaler,
+// keeping steady-state classification allocation-free.
 func (s *Set) Classify(t *imagery.Tile) int {
-	return s.Engine.PredictClass(applyScaler(t.Summary(), s.mean, s.std))
+	var buf [2 * imagery.NumFeatures]float64
+	sum := t.Summary()
+	x := buf[:len(sum)]
+	for i, v := range sum {
+		x[i] = (v - s.mean[i]) / s.std[i]
+	}
+	return s.Engine.PredictClass(x)
 }
 
 // Contexts returns the context count; together with Classify it satisfies

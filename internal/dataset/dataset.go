@@ -233,5 +233,6 @@ func flipTile(t *imagery.Tile, h, v bool) *imagery.Tile {
 			}
 		}
 	}
+	out.CacheSummary()
 	return out
 }

@@ -91,6 +91,7 @@ func (r *Runtime) ProcessFrame(tiles []*imagery.Tile, rng *xrand.Rand) FrameOutc
 	out := FrameOutcome{Tiles: make([]TileOutcome, 0, len(tiles))}
 	engineMs := r.Target.ContextEngineMsPerTile()
 	modelMs := r.Suite.Arch.PerTileMs[r.Target]
+	var mask []bool
 	for _, t := range tiles {
 		to := TileOutcome{Time: time.Duration(engineMs * float64(time.Millisecond))}
 		to.Context = r.Engine.Classify(t)
@@ -116,7 +117,11 @@ func (r *Runtime) ProcessFrame(tiles []*imagery.Tile, rng *xrand.Rand) FrameOutc
 			case to.Action == policy.Merged && to.Context < len(r.Suite.Merged):
 				m = r.Suite.Merged[to.Context]
 			}
-			mask, conf := m.PredictTile(t, rng)
+			if cap(mask) < t.Pixels() {
+				mask = make([]bool, t.Pixels())
+			}
+			mask = mask[:t.Pixels()]
+			conf := m.PredictTileInto(t, rng, mask)
 			kept := 0
 			keptValue := 0
 			for p, keep := range mask {
@@ -155,8 +160,13 @@ type Direct struct {
 func (d *Direct) ProcessFrame(tiles []*imagery.Tile, rng *xrand.Rand) FrameOutcome {
 	out := FrameOutcome{Tiles: make([]TileOutcome, 0, len(tiles))}
 	modelMs := d.Model.Arch.PerTileMs[d.Target]
+	var mask []bool
 	for _, t := range tiles {
-		mask, conf := d.Model.PredictTile(t, rng)
+		if cap(mask) < t.Pixels() {
+			mask = make([]bool, t.Pixels())
+		}
+		mask = mask[:t.Pixels()]
+		conf := d.Model.PredictTileInto(t, rng, mask)
 		kept, keptValue := 0, 0
 		for p, keep := range mask {
 			if keep {

@@ -170,3 +170,51 @@ func TestFigure8QuickGolden(t *testing.T) {
 	}
 	goldenCompare(t, "fig8_quick.render.golden", []byte(RenderFigure8(rows)))
 }
+
+// TestFigure8QuantizedQuickGolden pins the int8-inference variant of
+// Figure 8 byte for byte, alongside the float golden above: quantization
+// drift (a changed rounding rule, calibration set, or scale fallback)
+// shows up here even when the float pipeline is untouched.
+func TestFigure8QuantizedQuickGolden(t *testing.T) {
+	l := testLab(t)
+	rows, err := l.Figure8Quantized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "fig8q_quick.render.golden", []byte(RenderFigure8Quantized(rows)))
+}
+
+// TestFigure8QuantizedClose is the experiment-level equivalence bound:
+// per-layer symmetric int8 quantization may cost data value density, but
+// only a little — every (target, app) cell's quantized DVD stays within
+// an absolute tolerance of the float DVD, and its float column matches
+// Figure 8's Kodan column exactly (the two sweeps share the memoized
+// float artifacts).
+func TestFigure8QuantizedClose(t *testing.T) {
+	const tolerance = 0.05
+	l := testLab(t)
+	qrows, err := l.Figure8Quantized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frows, err := l.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qrows) != len(frows) {
+		t.Fatalf("row counts differ: %d vs %d", len(qrows), len(frows))
+	}
+	for i, q := range qrows {
+		f := frows[i]
+		if q.Target != f.Target || q.App != f.App {
+			t.Fatalf("row %d: pair mismatch %v/%d vs %v/%d", i, q.Target, q.App, f.Target, f.App)
+		}
+		if q.FloatDVD != f.KodanDVD {
+			t.Errorf("%v App %d: float column %v != Figure 8 Kodan %v", q.Target, q.App, q.FloatDVD, f.KodanDVD)
+		}
+		if e := q.QuantErr(); e < -tolerance || e > tolerance {
+			t.Errorf("%v App %d: quantization error %+.4f exceeds ±%.2f (float %.4f, int8 %.4f)",
+				q.Target, q.App, e, tolerance, q.FloatDVD, q.QuantDVD)
+		}
+	}
+}

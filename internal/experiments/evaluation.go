@@ -105,6 +105,77 @@ func RenderFigure8(rows []Fig8Row) string {
 	return b.String()
 }
 
+// Fig8QRow is one (target, application) group of the quantized Figure 8
+// variant: Kodan's data value density with float inference versus the
+// int8 quantized hot path, plus the quantization error the swap costs.
+type Fig8QRow struct {
+	Target   hw.Target
+	App      int
+	FloatDVD float64
+	QuantDVD float64
+}
+
+// QuantErr returns the signed DVD cost of quantization (negative when the
+// int8 path loses value density, zero when selection is unaffected).
+func (r Fig8QRow) QuantErr() float64 { return r.QuantDVD - r.FloatDVD }
+
+// Figure8Quantized reruns Figure 8's Kodan column with all suite
+// predictions routed through the int8 quantized models.
+func (l *Lab) Figure8Quantized() ([]Fig8QRow, error) {
+	return l.Figure8QuantizedCtx(context.Background())
+}
+
+// Figure8QuantizedCtx is Figure8Quantized with cancellation; the
+// (target, app) sweep runs on the lab's worker pool. The float column is
+// the same artifact Figure 8 uses (and is memo-shared with it), so the
+// comparison isolates exactly the inference-path change.
+func (l *Lab) Figure8QuantizedCtx(ctx context.Context) ([]Fig8QRow, error) {
+	ctx, span := l.startFigure(ctx, "fig8q")
+	defer span.End()
+	pairs := targetAppPairs()
+	rows := make([]Fig8QRow, len(pairs))
+	err := parallel.ForEach(ctx, l.workers(), len(pairs), func(ctx context.Context, k int) error {
+		p := pairs[k]
+		d, err := l.DeploymentCtx(ctx, p.target)
+		if err != nil {
+			return err
+		}
+		art, err := l.AppCtx(ctx, p.app)
+		if err != nil {
+			return err
+		}
+		artQ, err := l.AppVariantCtx(ctx, p.app, true)
+		if err != nil {
+			return err
+		}
+		_, float := art.SelectionLogic(d)
+		_, quant := artQ.SelectionLogic(d)
+		rows[k] = Fig8QRow{
+			Target:   p.target,
+			App:      p.app,
+			FloatDVD: float.DVD,
+			QuantDVD: quant.DVD,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderFigure8Quantized formats the float-vs-int8 comparison.
+func RenderFigure8Quantized(rows []Fig8QRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8 (quantized): Kodan data value density, float vs int8 inference\n")
+	fmt.Fprintf(&b, "%-9s %-6s %9s %9s %10s\n", "Target", "App", "Float", "Int8", "QuantErr")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %-6s %9.3f %9.3f %+10.3f\n",
+			r.Target, appLabel(r.App), r.FloatDVD, r.QuantDVD, r.QuantErr())
+	}
+	return b.String()
+}
+
 // Fig9Row is one (target, application) group of Figure 9.
 type Fig9Row struct {
 	Target     hw.Target

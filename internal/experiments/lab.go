@@ -61,9 +61,16 @@ type Lab struct {
 
 	mu       sync.Mutex
 	ws       memo[*core.Workspace]
-	apps     map[int]*memo[*core.Artifacts]
+	apps     map[appKey]*memo[*core.Artifacts]
 	mission  memo[missionProfile]
 	capacity map[int]*memo[*sim.Result] // per satellite count, one day
+}
+
+// appKey identifies one memoized per-application transform: the Table 1
+// index plus the inference variant it was measured under.
+type appKey struct {
+	index     int
+	quantized bool
 }
 
 // memo is a single-flight memo cell: the first caller computes while
@@ -102,7 +109,7 @@ func NewLab(size Size) *Lab {
 		Seed:     2023,
 		Epoch:    time.Date(2023, 3, 25, 0, 0, 0, 0, time.UTC),
 		Size:     size,
-		apps:     make(map[int]*memo[*core.Artifacts]),
+		apps:     make(map[appKey]*memo[*core.Artifacts]),
 		capacity: make(map[int]*memo[*sim.Result]),
 	}
 }
@@ -184,14 +191,25 @@ func (l *Lab) App(index int) (*core.Artifacts, error) {
 // it under ctx on first use. Concurrent calls for the same index share
 // one transformation.
 func (l *Lab) AppCtx(ctx context.Context, index int) (*core.Artifacts, error) {
+	return l.AppVariantCtx(ctx, index, false)
+}
+
+// AppVariantCtx returns the memoized artifacts of one application under
+// the chosen inference variant. The quantized variant derives int8 twins
+// after training and measures every suite quality confusion through them;
+// both variants share the workspace (datasets, contexts, engine) and the
+// float variant's artifacts are bit-identical whether or not a quantized
+// transform also ran.
+func (l *Lab) AppVariantCtx(ctx context.Context, index int, quantized bool) (*core.Artifacts, error) {
+	key := appKey{index: index, quantized: quantized}
 	l.mu.Lock()
 	if l.apps == nil {
-		l.apps = make(map[int]*memo[*core.Artifacts])
+		l.apps = make(map[appKey]*memo[*core.Artifacts])
 	}
-	m, ok := l.apps[index]
+	m, ok := l.apps[key]
 	if !ok {
 		m = &memo[*core.Artifacts]{}
-		l.apps[index] = m
+		l.apps[key] = m
 	}
 	l.mu.Unlock()
 	hit, miss := l.memoCounters("app")
@@ -200,7 +218,7 @@ func (l *Lab) AppCtx(ctx context.Context, index int) (*core.Artifacts, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ws.TransformAppCtx(l.probeCtx(ctx), app.App(index))
+		return ws.WithQuantized(quantized).TransformAppCtx(l.probeCtx(ctx), app.App(index))
 	})
 }
 

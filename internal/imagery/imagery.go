@@ -121,6 +121,9 @@ type Tile struct {
 	CloudFrac float64
 	// Region records where the tile came from.
 	Region Region
+	// summary caches the Summary descriptor for tiles built by the
+	// package's own renderers; see CacheSummary.
+	summary []float64
 }
 
 // HighValueFrac returns the fraction of high-value pixels (1 - CloudFrac).
@@ -154,8 +157,25 @@ func (t *Tile) LabelVector() []float64 {
 // Summary returns the runtime-observable tile descriptor: per-channel mean
 // and standard deviation of the feature channels. The context engine
 // classifies tiles from this vector; it contains nothing derived from the
-// truth mask.
+// truth mask. Tiles built by RenderTile (or flipped dataset copies) return
+// a precomputed cache — treat the result as read-only. Hand-constructed
+// tiles compute a fresh descriptor on every call.
 func (t *Tile) Summary() []float64 {
+	if t.summary != nil {
+		return t.summary
+	}
+	return t.computeSummary()
+}
+
+// CacheSummary precomputes the Summary descriptor so later calls are
+// allocation-free. Call it once after the feature channels are final;
+// callers that mutate Features afterwards must not use it. Safe only
+// before the tile is shared across goroutines.
+func (t *Tile) CacheSummary() {
+	t.summary = t.computeSummary()
+}
+
+func (t *Tile) computeSummary() []float64 {
 	out := make([]float64, 2*NumFeatures)
 	n := float64(t.Pixels())
 	for c := 0; c < NumFeatures; c++ {
@@ -333,14 +353,19 @@ func (w *World) RenderTile(reg Region, res int, blurPx float64) *Tile {
 	var geoCounts [NumGeoClasses]int
 	cloudy := 0
 	opacity := make([]float64, n)
+	lons := make([]float64, res)
+	for j := range lons {
+		lons[j] = reg.LonDeg + (float64(j)+0.5)*step
+	}
+	rows := newRowScratch(res)
 	for i := 0; i < res; i++ {
 		lat := reg.LatDeg + (float64(i)+0.5)*step
+		w.fillRow(rows, lons, lat)
 		for j := 0; j < res; j++ {
-			lon := reg.LonDeg + (float64(j)+0.5)*step
 			p := i*res + j
-			g := w.geoAt(lon, lat)
+			g := w.geoFromRow(rows, j, lat)
 			geoCounts[g]++
-			op := w.cloudOpacityAt(lon, lat, g)
+			op := w.opacityFromRow(rows, j, g)
 			opacity[p] = op
 			if op > 0.5 {
 				t.Truth[p] = false
@@ -380,6 +405,7 @@ func (w *World) RenderTile(reg Region, res int, blurPx float64) *Tile {
 		}
 	}
 	t.Dominant = GeoClass(best)
+	t.CacheSummary()
 	return t
 }
 
@@ -453,6 +479,113 @@ func blurLine(src, dst []float64, radius int) {
 		}
 		dst[i] = sum / float64(hi-lo+1)
 	}
+}
+
+// rowScratch holds the per-row noise buffers of one RenderTile call: the
+// evolving x coordinates and the six field rows a scanline needs.
+type rowScratch struct {
+	xs                                       []float64
+	cont, urban, tree, dry, weather, cumulus []float64
+}
+
+func newRowScratch(res int) *rowScratch {
+	backing := make([]float64, 7*res)
+	s := &rowScratch{}
+	for i, dst := range []*[]float64{&s.xs, &s.cont, &s.urban, &s.tree, &s.dry, &s.weather, &s.cumulus} {
+		*dst = backing[i*res : (i+1)*res]
+	}
+	return s
+}
+
+// rowFBM writes fbm(lon/scale, lat/scale, seed, octaves) for every lon in
+// lons into dst, sharing one scanline's lattice hashes: within an octave
+// the y lattice row is fixed and consecutive x samples usually stay inside
+// one cell, so the four corner hashes are fetched once per cell instead of
+// once per pixel. Every arithmetic expression matches fbm/vnoise exactly —
+// hash2 is pure, so reusing its values is bit-identical to recomputing
+// them (pinned by TestRowFBMMatchesFBM).
+func rowFBM(dst, xs, lons []float64, lat, scale float64, seed uint64, octaves int) {
+	for j, lon := range lons {
+		xs[j] = lon / scale
+		dst[j] = 0
+	}
+	y := lat / scale
+	var norm float64
+	amp := 1.0
+	for o := 0; o < octaves; o++ {
+		s := seed + uint64(o)*0x9e37
+		fy := math.Floor(y)
+		iy := int64(fy)
+		ty := smoothstep(y - fy)
+		haveCell := false
+		var lastIx int64
+		var v00, v10, v01, v11 float64
+		for j, x := range xs {
+			fx := math.Floor(x)
+			ix := int64(fx)
+			if !haveCell || ix != lastIx {
+				v00 = hash2(ix, iy, s)
+				v10 = hash2(ix+1, iy, s)
+				v01 = hash2(ix, iy+1, s)
+				v11 = hash2(ix+1, iy+1, s)
+				lastIx, haveCell = ix, true
+			}
+			tx := smoothstep(x - fx)
+			a := v00 + (v10-v00)*tx
+			b := v01 + (v11-v01)*tx
+			dst[j] += amp * (a + (b-a)*ty)
+		}
+		norm += amp
+		for j, x := range xs {
+			xs[j] = x*2 + 13.7
+		}
+		y = y*2 + 7.3
+		amp *= 0.5
+	}
+	for j := range dst {
+		dst[j] /= norm
+	}
+}
+
+// fillRow evaluates the world's noise fields for one scanline. The
+// classification below mirrors geoAt/cloudOpacityAt exactly; the row path
+// merely precomputes every field a pixel might consult (geoAt's
+// short-circuits skip some), and unused values cannot affect the output.
+func (w *World) fillRow(s *rowScratch, lons []float64, lat float64) {
+	rowFBM(s.cont, s.xs, lons, lat, continentScale, w.seed^0xc0417, 3)
+	rowFBM(s.urban, s.xs, lons, lat, urbanScale, w.seed^0x06ba1, 2)
+	rowFBM(s.tree, s.xs, lons, lat, drynessScale, w.seed^0x7e111, 2)
+	rowFBM(s.dry, s.xs, lons, lat, drynessScale, w.seed^0xd2e57, 3)
+	rowFBM(s.weather, s.xs, lons, lat, weatherScale, w.seed^0x57086, 4)
+	rowFBM(s.cumulus, s.xs, lons, lat, cumulusScale, w.seed^0xcc001, 3)
+}
+
+// geoFromRow is geoAt over precomputed row fields (same branch structure).
+func (w *World) geoFromRow(s *rowScratch, j int, lat float64) GeoClass {
+	if s.cont[j] < 0.46 {
+		return Ocean
+	}
+	if s.urban[j] > 0.78 {
+		return Urban
+	}
+	coldness := math.Abs(lat)/90 + 0.2*(s.tree[j]-0.5)
+	if coldness > 0.62 {
+		return Tundra
+	}
+	if s.dry[j] > 0.63 {
+		return Desert
+	}
+	return Forest
+}
+
+// opacityFromRow is cloudOpacityAt over precomputed row fields.
+func (w *World) opacityFromRow(s *rowScratch, j int, g GeoClass) float64 {
+	o := clamp01(0.5 + (s.weather[j]-cloudThreshold[g])/opacityRamp)
+	oc := clamp01(0.5 + (s.cumulus[j]-cumulusThreshold)/cumulusRamp)
+	if oc > o {
+		return oc
+	}
+	return o
 }
 
 // smoothstep clamps x to [0,1] and applies 3x^2-2x^3 smoothing.

@@ -1,0 +1,97 @@
+package imagery
+
+import (
+	"math"
+	"testing"
+
+	"kodan/internal/xrand"
+)
+
+// TestRowFBMMatchesFBM pins the scanline noise evaluator to the scalar
+// fbm bit-for-bit: the row path may share lattice hashes within a cell,
+// but every output float must be exactly what per-pixel fbm produces.
+// RenderTile's determinism (and the committed experiment goldens) depend
+// on this equivalence.
+func TestRowFBMMatchesFBM(t *testing.T) {
+	rng := xrand.New(123)
+	for trial := 0; trial < 200; trial++ {
+		res := 1 + rng.Intn(40)
+		scale := []float64{continentScale, drynessScale, urbanScale, weatherScale, cumulusScale}[rng.Intn(5)]
+		seed := rng.Uint64()
+		octaves := 1 + rng.Intn(4)
+		lat := rng.Float64()*180 - 90
+		lon0 := rng.Float64()*360 - 180
+		step := rng.Float64() * 0.1
+
+		lons := make([]float64, res)
+		for j := range lons {
+			lons[j] = lon0 + float64(j)*step
+		}
+		s := newRowScratch(res)
+		rowFBM(s.cont, s.xs, lons, lat, scale, seed, octaves)
+		for j, lon := range lons {
+			want := fbm(lon/scale, lat/scale, seed, octaves)
+			if math.Float64bits(s.cont[j]) != math.Float64bits(want) {
+				t.Fatalf("trial %d: rowFBM[%d] = %v, fbm = %v (lon=%v lat=%v scale=%v seed=%#x oct=%d)",
+					trial, j, s.cont[j], want, lon, lat, scale, seed, octaves)
+			}
+		}
+	}
+}
+
+// TestRowFieldsMatchPointwise pins the scanline classification helpers to
+// the per-pixel originals: geoFromRow must agree with geoAt and
+// opacityFromRow with cloudOpacityAt for every pixel of random rows.
+func TestRowFieldsMatchPointwise(t *testing.T) {
+	rng := xrand.New(321)
+	for trial := 0; trial < 50; trial++ {
+		w := NewWorld(rng.Uint64())
+		res := 1 + rng.Intn(32)
+		lat := rng.Float64()*160 - 80
+		lon0 := rng.Float64()*360 - 180
+		step := rng.Float64() * 0.05
+
+		lons := make([]float64, res)
+		for j := range lons {
+			lons[j] = lon0 + float64(j)*step
+		}
+		s := newRowScratch(res)
+		w.fillRow(s, lons, lat)
+		for j, lon := range lons {
+			g := w.geoFromRow(s, j, lat)
+			if want := w.geoAt(lon, lat); g != want {
+				t.Fatalf("trial %d px %d: geoFromRow = %v, geoAt = %v", trial, j, g, want)
+			}
+			op := w.opacityFromRow(s, j, g)
+			if want := w.cloudOpacityAt(lon, lat, g); math.Float64bits(op) != math.Float64bits(want) {
+				t.Fatalf("trial %d px %d: opacityFromRow = %v, cloudOpacityAt = %v", trial, j, op, want)
+			}
+		}
+	}
+}
+
+// TestSummaryCacheMatchesFresh checks the cached summary equals a fresh
+// computation and that uncached tiles (hand-built, e.g. in tests) still
+// produce a correct summary lazily.
+func TestSummaryCacheMatchesFresh(t *testing.T) {
+	w := NewWorld(77)
+	tile := w.RenderTile(Region{LonDeg: 10, LatDeg: 20, SizeDeg: 0.5}, 16, 0)
+	cached := tile.Summary()
+	fresh := tile.computeSummary()
+	if len(cached) != len(fresh) {
+		t.Fatalf("summary lengths differ: %d vs %d", len(cached), len(fresh))
+	}
+	for i := range cached {
+		if math.Float64bits(cached[i]) != math.Float64bits(fresh[i]) {
+			t.Fatalf("summary[%d]: cached %v != fresh %v", i, cached[i], fresh[i])
+		}
+	}
+	// A tile without the cache must still summarize (lazy fallback).
+	bare := &Tile{Res: tile.Res, Features: tile.Features, Truth: tile.Truth}
+	lazy := bare.Summary()
+	for i := range lazy {
+		if math.Float64bits(lazy[i]) != math.Float64bits(fresh[i]) {
+			t.Fatalf("lazy summary[%d]: %v != %v", i, lazy[i], fresh[i])
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package nn
+
+import "testing"
+
+// TestConfusionDegenerate pins the degenerate-input behavior of every
+// Confusion metric, so callers dividing mission value by these rates can
+// rely on the documented conventions: an empty matrix scores 0 everywhere
+// except Precision, which returns 1 because an empty downlink pollutes
+// nothing.
+func TestConfusionDegenerate(t *testing.T) {
+	cases := []struct {
+		name                                                string
+		c                                                   Confusion
+		accuracy, precision, recall, positiveRate, baseRate float64
+	}{
+		{
+			name:      "empty",
+			c:         Confusion{},
+			precision: 1, // no positive predictions: nothing polluted
+		},
+		{
+			name:         "all-true-negative",
+			c:            Confusion{TN: 10},
+			accuracy:     1,
+			precision:    1, // still no positive predictions
+			recall:       0, // no actual positives either
+			positiveRate: 0,
+			baseRate:     0,
+		},
+		{
+			name:         "all-false-negative",
+			c:            Confusion{FN: 5},
+			accuracy:     0,
+			precision:    1, // nothing predicted positive
+			recall:       0, // every actual positive missed
+			positiveRate: 0,
+			baseRate:     1,
+		},
+		{
+			name:         "all-false-positive",
+			c:            Confusion{FP: 4},
+			accuracy:     0,
+			precision:    0,
+			recall:       0, // no actual positives
+			positiveRate: 1,
+			baseRate:     0,
+		},
+		{
+			name:         "all-true-positive",
+			c:            Confusion{TP: 7},
+			accuracy:     1,
+			precision:    1,
+			recall:       1,
+			positiveRate: 1,
+			baseRate:     1,
+		},
+		{
+			name:         "mixed",
+			c:            Confusion{TP: 3, FP: 1, TN: 4, FN: 2},
+			accuracy:     0.7,
+			precision:    0.75,
+			recall:       0.6,
+			positiveRate: 0.4,
+			baseRate:     0.5,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.c.Accuracy(); got != tc.accuracy {
+				t.Errorf("Accuracy = %v, want %v", got, tc.accuracy)
+			}
+			if got := tc.c.Precision(); got != tc.precision {
+				t.Errorf("Precision = %v, want %v", got, tc.precision)
+			}
+			if got := tc.c.Recall(); got != tc.recall {
+				t.Errorf("Recall = %v, want %v", got, tc.recall)
+			}
+			if got := tc.c.PositiveRate(); got != tc.positiveRate {
+				t.Errorf("PositiveRate = %v, want %v", got, tc.positiveRate)
+			}
+			if got := tc.c.BaseRate(); got != tc.baseRate {
+				t.Errorf("BaseRate = %v, want %v", got, tc.baseRate)
+			}
+		})
+	}
+}
+
+// TestConfusionAddMerge checks the accumulation primitives agree with
+// direct field construction.
+func TestConfusionAddMerge(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FP
+	c.Add(false, false) // TN
+	c.Add(false, true)  // FN
+	c.Add(true, true)   // TP
+	want := Confusion{TP: 2, FP: 1, TN: 1, FN: 1}
+	if c != want {
+		t.Fatalf("Add sequence = %+v, want %+v", c, want)
+	}
+	var m Confusion
+	m.Merge(c)
+	m.Merge(Confusion{TP: 1, FN: 2})
+	if (m != Confusion{TP: 3, FP: 1, TN: 1, FN: 3}) {
+		t.Fatalf("Merge = %+v", m)
+	}
+	if m.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", m.Total())
+	}
+}

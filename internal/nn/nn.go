@@ -64,31 +64,87 @@ func newLayer(in, out int, act Activation, rng *xrand.Rand) *layer {
 
 // forward computes the layer output and caches pre-activations in preact.
 func (l *layer) forward(in, out, preact []float64) {
+	in = in[:l.in]
+	relu := l.act == ReLU
 	for o := 0; o < l.out; o++ {
 		sum := l.b[o]
 		row := l.w[o*l.in : (o+1)*l.in]
-		for i, v := range in {
-			sum += row[i] * v
+		x := in[:len(row)] // provably equal lengths: elides the per-element bounds check
+		// Unrolled strictly in index order, so the accumulation is
+		// bit-identical to the plain loop.
+		i := 0
+		for ; i+4 <= len(row); i += 4 {
+			sum += row[i] * x[i]
+			sum += row[i+1] * x[i+1]
+			sum += row[i+2] * x[i+2]
+			sum += row[i+3] * x[i+3]
+		}
+		for ; i < len(row); i++ {
+			sum += row[i] * x[i]
 		}
 		preact[o] = sum
-		out[o] = activate(sum, l.act)
+		// ReLU (every hidden layer) is applied inline; the per-output
+		// dispatch only remains for the small head layers.
+		if relu {
+			if sum < 0 {
+				sum = 0
+			}
+			out[o] = sum
+		} else {
+			out[o] = activate(sum, l.act)
+		}
 	}
 }
 
 // backward consumes dOut (gradient wrt layer output), accumulates weight
-// gradients, and writes the gradient wrt the layer input into dIn.
-func (l *layer) backward(in, preact, dOut, dIn []float64) {
+// gradients, and writes the gradient wrt the layer input into dIn. out is
+// the layer's forward output for the same pass: sigmoid layers derive
+// their gradient from it (s*(1-s)) instead of re-evaluating the Exp, which
+// is bit-identical because out holds exactly activate(preact). A nil dIn
+// skips the input-gradient accumulation — the first layer's input gradient
+// is never consumed, so the caller elides roughly half its backward work.
+func (l *layer) backward(in, out, preact, dOut, dIn []float64) {
+	in = in[:l.in]
 	for i := range dIn {
 		dIn[i] = 0
 	}
 	for o := 0; o < l.out; o++ {
-		g := dOut[o] * activateGrad(preact[o], l.act)
+		g := dOut[o]
+		switch l.act {
+		case Sigmoid:
+			g *= out[o] * (1 - out[o])
+		case ReLU:
+			if preact[o] < 0 {
+				// Multiply rather than assign zero: bit-identical to the
+				// activateGrad path even for non-finite upstream gradients.
+				g *= 0
+			}
+		case Linear:
+		default:
+			g *= activateGrad(preact[o], l.act)
+		}
 		l.gb[o] += g
-		row := l.w[o*l.in : (o+1)*l.in]
 		grow := l.gw[o*l.in : (o+1)*l.in]
+		if dIn == nil {
+			x := in[:len(grow)]
+			i := 0
+			for ; i+4 <= len(grow); i += 4 {
+				grow[i] += g * x[i]
+				grow[i+1] += g * x[i+1]
+				grow[i+2] += g * x[i+2]
+				grow[i+3] += g * x[i+3]
+			}
+			for ; i < len(grow); i++ {
+				grow[i] += g * x[i]
+			}
+			continue
+		}
+		row := l.w[o*l.in : (o+1)*l.in][:len(in)]
+		grow = grow[:len(in)]
+		d := dIn[:len(in)]
 		for i, v := range in {
 			grow[i] += g * v
-			dIn[i] += g * row[i]
+			d[i] += g * row[i]
 		}
 	}
 }
@@ -193,6 +249,9 @@ type scratch struct {
 	acts    [][]float64
 	preacts [][]float64
 	deltas  [][]float64
+	// dOut is the output-gradient seed buffer for accumulate, hoisted here
+	// so a training pass allocates nothing.
+	dOut []float64
 }
 
 // NewBinary returns a binary classifier: inputs -> hidden ReLU layers ->
@@ -238,6 +297,7 @@ func (n *Net) newScratch() *scratch {
 		s.preacts = append(s.preacts, make([]float64, l.out))
 		s.deltas = append(s.deltas, make([]float64, l.in))
 	}
+	s.dOut = make([]float64, n.layers[len(n.layers)-1].out)
 	return s
 }
 
@@ -258,11 +318,19 @@ func (n *Net) Params() int {
 }
 
 // forward runs the network using the given scratch; the final activation
-// vector (owned by the scratch) is returned.
+// vector (owned by the scratch) is returned. When x already has the input
+// dimension it feeds the first layer directly; otherwise it goes through
+// the scratch's input buffer, preserving the historical tolerant behavior
+// (truncate long inputs, leave short ones padded by the buffer).
 func (n *Net) forward(s *scratch, x []float64) []float64 {
-	copy(s.acts[0], x)
+	in := x
+	if len(x) != n.layers[0].in {
+		copy(s.acts[0], x)
+		in = s.acts[0]
+	}
 	for i, l := range n.layers {
-		l.forward(s.acts[i], s.acts[i+1], s.preacts[i])
+		l.forward(in, s.acts[i+1], s.preacts[i])
+		in = s.acts[i+1]
 	}
 	out := s.acts[len(s.acts)-1]
 	if n.softmax {
@@ -294,6 +362,25 @@ func (n *Net) PredictBinary(x []float64) float64 {
 	p := n.forward(s, x)[0]
 	n.predict.Put(s)
 	return p
+}
+
+// PredictBatch writes P(positive) for each input row xs[i] into out[i],
+// borrowing one scratch for the whole batch — the cache-friendly bulk
+// entry point for tile traversal. out must have at least len(xs) elements.
+// Each out[i] is bit-identical to PredictBinary(xs[i]); steady-state calls
+// allocate nothing.
+func (n *Net) PredictBatch(xs [][]float64, out []float64) {
+	if n.Outputs() != 1 {
+		panic("nn: PredictBatch on non-binary net")
+	}
+	if len(out) < len(xs) {
+		panic(fmt.Sprintf("nn: PredictBatch output size %d, want >= %d", len(out), len(xs)))
+	}
+	s := n.predict.Get().(*scratch)
+	for i, x := range xs {
+		out[i] = n.forward(s, x)[0]
+	}
+	n.predict.Put(s)
 }
 
 // PredictClass returns the argmax class for a classifier.
@@ -331,11 +418,15 @@ func softmaxInPlace(v []float64) {
 // {0,1} in target[0]; for classifiers target is a class index in target[0].
 // Both use the cross-entropy gradient, which for sigmoid and softmax heads
 // reduces to (p - y) at the final pre-activation.
-func (n *Net) accumulate(x []float64, target float64) float64 {
+func (n *Net) accumulate(x []float64, target float64, withLoss bool) float64 {
+	if !n.softmax && len(n.layers) == 2 &&
+		n.layers[0].act == ReLU && n.layers[1].act == Sigmoid && n.layers[1].out == 1 {
+		return n.accumulateBinary2(x, target, withLoss)
+	}
 	s := n.train
 	out := n.forward(s, x)
 	last := len(n.layers) - 1
-	dOut := make([]float64, n.layers[last].out)
+	dOut := s.dOut
 	var loss float64
 	if n.softmax {
 		cls := int(target)
@@ -348,23 +439,154 @@ func (n *Net) accumulate(x []float64, target float64) float64 {
 			// multiplies by activateGrad(Linear)=1, so feed p-y directly.
 			dOut[i] = out[i] - y
 		}
-		loss = -math.Log(math.Max(out[int(target)], 1e-12))
+		if withLoss {
+			loss = -math.Log(math.Max(out[int(target)], 1e-12))
+		}
 	} else {
 		p := out[0]
 		y := target
 		// Sigmoid+BCE: gradient wrt pre-activation is p-y. backward will
-		// multiply by sigmoid'(pre), so divide it out here.
-		g := activateGrad(s.preacts[last][0], Sigmoid)
+		// multiply by sigmoid'(pre) = p*(1-p) (p is the forward output of
+		// the same pre-activation, so this is the same float), so divide
+		// it out here.
+		g := p * (1 - p)
 		if g < 1e-12 {
 			g = 1e-12
 		}
 		dOut[0] = (p - y) / g
+		if withLoss {
+			loss = -y*math.Log(math.Max(p, 1e-12)) - (1-y)*math.Log(math.Max(1-p, 1e-12))
+		}
+	}
+
+	// The first layer's input gradient has no consumer, so its backward
+	// runs with a nil dIn. Its input is x itself unless forward had to
+	// stage the input through the scratch buffer.
+	in0 := x
+	if len(x) != n.layers[0].in {
+		in0 = s.acts[0]
+	}
+	for i := last; i > 0; i-- {
+		n.layers[i].backward(s.acts[i], s.acts[i+1], s.preacts[i], dOut, s.deltas[i])
+		dOut = s.deltas[i]
+	}
+	n.layers[0].backward(in0, s.acts[1], s.preacts[0], dOut, nil)
+	return loss
+}
+
+// accumulateBinary2 is accumulate specialized for the reproduction's
+// dominant network shape: one ReLU hidden layer feeding a single sigmoid
+// output. Fusing the forward and backward passes into one function removes
+// the per-layer method calls and activation dispatch from the training hot
+// loop. Every floating-point operation runs in exactly the order of the
+// generic path, so training stays bit-identical (the committed experiment
+// goldens pin this).
+func (n *Net) accumulateBinary2(x []float64, target float64, withLoss bool) float64 {
+	s := n.train
+	l0, l1 := n.layers[0], n.layers[1]
+
+	in := x
+	if len(x) != l0.in {
+		copy(s.acts[0], x)
+		in = s.acts[0]
+	}
+	in = in[:l0.in]
+
+	// Forward: hidden ReLU layer.
+	h := s.acts[1]
+	ph := s.preacts[0]
+	for o := 0; o < l0.out; o++ {
+		sum := l0.b[o]
+		row := l0.w[o*l0.in : (o+1)*l0.in]
+		xx := in[:len(row)]
+		i := 0
+		for ; i+4 <= len(row); i += 4 {
+			sum += row[i] * xx[i]
+			sum += row[i+1] * xx[i+1]
+			sum += row[i+2] * xx[i+2]
+			sum += row[i+3] * xx[i+3]
+		}
+		for ; i < len(row); i++ {
+			sum += row[i] * xx[i]
+		}
+		ph[o] = sum
+		if sum < 0 {
+			sum = 0
+		}
+		h[o] = sum
+	}
+
+	// Forward: sigmoid head.
+	hin := h[:l1.in]
+	sum := l1.b[0]
+	{
+		row := l1.w[:l1.in]
+		xx := hin[:len(row)]
+		i := 0
+		for ; i+4 <= len(row); i += 4 {
+			sum += row[i] * xx[i]
+			sum += row[i+1] * xx[i+1]
+			sum += row[i+2] * xx[i+2]
+			sum += row[i+3] * xx[i+3]
+		}
+		for ; i < len(row); i++ {
+			sum += row[i] * xx[i]
+		}
+	}
+	s.preacts[1][0] = sum
+	p := 1 / (1 + math.Exp(-sum))
+	s.acts[2][0] = p
+
+	var loss float64
+	y := target
+	g := p * (1 - p)
+	if g < 1e-12 {
+		g = 1e-12
+	}
+	dOut := (p - y) / g
+	if withLoss {
 		loss = -y*math.Log(math.Max(p, 1e-12)) - (1-y)*math.Log(math.Max(1-p, 1e-12))
 	}
 
-	for i := last; i >= 0; i-- {
-		n.layers[i].backward(s.acts[i], s.preacts[i], dOut, s.deltas[i])
-		dOut = s.deltas[i]
+	// Backward: head. The sigmoid gradient comes from the forward output,
+	// exactly as layer.backward derives it.
+	d := s.deltas[1]
+	for i := range d {
+		d[i] = 0
+	}
+	gh := dOut * (p * (1 - p))
+	l1.gb[0] += gh
+	{
+		grow := l1.gw[:l1.in][:len(hin)]
+		row := l1.w[:l1.in][:len(hin)]
+		dd := d[:len(hin)]
+		for i, v := range hin {
+			grow[i] += gh * v
+			dd[i] += gh * row[i]
+		}
+	}
+
+	// Backward: hidden layer; its input gradient has no consumer.
+	for o := 0; o < l0.out; o++ {
+		g := d[o]
+		if ph[o] < 0 {
+			// Multiply rather than assign zero: bit-identical to the
+			// activateGrad path even for non-finite upstream gradients.
+			g *= 0
+		}
+		l0.gb[o] += g
+		grow := l0.gw[o*l0.in : (o+1)*l0.in]
+		xx := in[:len(grow)]
+		i := 0
+		for ; i+4 <= len(grow); i += 4 {
+			grow[i] += g * xx[i]
+			grow[i+1] += g * xx[i+1]
+			grow[i+2] += g * xx[i+2]
+			grow[i+3] += g * xx[i+3]
+		}
+		for ; i < len(grow); i++ {
+			grow[i] += g * xx[i]
+		}
 	}
 	return loss
 }
@@ -456,10 +678,13 @@ func (n *Net) FitCtx(ctx context.Context, xs [][]float64, ys []float64, cfg Trai
 			return lastLoss, err
 		}
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		// Only the final epoch's mean loss is reported, so earlier epochs
+		// skip the cross-entropy terms; gradients are loss-independent.
+		withLoss := ep == cfg.Epochs-1
 		var epochLoss float64
 		batch := 0
 		for _, i := range idx {
-			epochLoss += n.accumulate(xs[i], ys[i])
+			epochLoss += n.accumulate(xs[i], ys[i], withLoss)
 			batch++
 			if batch == cfg.BatchSize {
 				apply(batch)

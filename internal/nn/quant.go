@@ -1,0 +1,239 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// QuantizedNet is the int8 twin of a trained Net: post-training per-layer
+// symmetric quantization of weights and activations, integer matrix-vector
+// accumulation, and a float dequantization only at each layer output.
+//
+// The derivation (Net.Quantize) maps every layer's weights onto the
+// [-127, 127] grid with one scale per layer (wScale = maxAbs(w)/127) and
+// calibrates one activation scale per layer input from sample data
+// (inScale = maxAbs(activation)/127), so a layer's dot product runs
+// entirely in int32 and is rescaled once by wScale*inScale. Biases and
+// nonlinearities stay float — they are O(out) per layer, not O(in*out).
+//
+// Inference is defensive by design, because the quantized path is the one
+// that flies: inputs containing NaN (treated as 0), ±Inf (clamped to the
+// grid edge), or of the wrong length (missing features read as 0, extras
+// ignored) never panic and always produce a finite probability. The float
+// path remains authoritative — the transformation measures quantized
+// models through the same validation confusions, so any accuracy loss is
+// priced into the selection logic rather than assumed away.
+//
+// A QuantizedNet is immutable after derivation and safe for concurrent
+// prediction: each call borrows scratch from an internal pool.
+type QuantizedNet struct {
+	layers  []qlayer
+	softmax bool
+	// width is the widest layer boundary, sizing one reusable scratch.
+	width int
+	pool  sync.Pool
+}
+
+// qlayer is one dense layer in integer form.
+type qlayer struct {
+	in, out int
+	act     Activation
+	w       []int8 // out x in, row-major, in units of wScale
+	b       []float64
+	// invIn quantizes this layer's float input: q = clamp(round(v*invIn)).
+	invIn float64
+	// inScale is the activation quantization step (1/invIn), the error
+	// model's per-layer resolution.
+	inScale float64
+	// scale dequantizes one accumulated dot product: wScale * inScale.
+	scale float64
+}
+
+// qscratch holds the per-call buffers of one quantized forward pass.
+type qscratch struct {
+	qin  []int8
+	a, b []float64
+}
+
+// Quantize derives the int8 twin of a trained network. calib supplies
+// sample inputs (typically a slice of the training set) whose float
+// forward passes calibrate each layer's activation range; rows of the
+// wrong length are skipped. With no usable calibration data the
+// activation grid falls back to unit range ([-1, 1]), which keeps the
+// network runnable but loosens the error bound — pass real samples.
+// The receiver is not mutated and no randomness is consumed.
+func (n *Net) Quantize(calib [][]float64) *QuantizedNet {
+	nl := len(n.layers)
+	maxAbs := make([]float64, nl)
+	s := n.predict.Get().(*scratch)
+	for _, x := range calib {
+		if len(x) != n.layers[0].in {
+			continue
+		}
+		in := x
+		for i, l := range n.layers {
+			for _, v := range in[:l.in] {
+				if a := math.Abs(v); a > maxAbs[i] && !math.IsInf(a, 1) {
+					maxAbs[i] = a
+				}
+			}
+			l.forward(in, s.acts[i+1], s.preacts[i])
+			in = s.acts[i+1]
+		}
+	}
+	n.predict.Put(s)
+
+	q := &QuantizedNet{softmax: n.softmax}
+	for i, l := range n.layers {
+		var wMax float64
+		for _, v := range l.w {
+			if a := math.Abs(v); a > wMax {
+				wMax = a
+			}
+		}
+		wScale := wMax / 127
+		if wScale <= 0 || math.IsNaN(wScale) || math.IsInf(wScale, 0) {
+			wScale = 1.0 / 127
+		}
+		inScale := maxAbs[i] / 127
+		if inScale <= 0 || math.IsNaN(inScale) || math.IsInf(inScale, 0) {
+			inScale = 1.0 / 127
+		}
+		// Extreme (but finite) weight and activation ranges can overflow
+		// or underflow the combined dequantization step; clamp it to the
+		// finite positive range so a zero accumulator never produces
+		// 0*Inf = NaN downstream and the step stays invertible.
+		scale := wScale * inScale
+		switch {
+		case math.IsInf(scale, 0) || math.IsNaN(scale):
+			scale = math.MaxFloat64
+		case scale <= 0:
+			scale = math.SmallestNonzeroFloat64
+		}
+		ql := qlayer{
+			in: l.in, out: l.out, act: l.act,
+			w:       make([]int8, len(l.w)),
+			b:       append([]float64(nil), l.b...),
+			invIn:   1 / inScale,
+			inScale: inScale,
+			scale:   scale,
+		}
+		for j, v := range l.w {
+			ql.w[j] = quantizeUnit(v / wScale)
+		}
+		q.layers = append(q.layers, ql)
+		if l.in > q.width {
+			q.width = l.in
+		}
+		if l.out > q.width {
+			q.width = l.out
+		}
+	}
+	q.pool.New = func() interface{} {
+		return &qscratch{
+			qin: make([]int8, q.width),
+			a:   make([]float64, q.width),
+			b:   make([]float64, q.width),
+		}
+	}
+	return q
+}
+
+// quantizeUnit rounds an already-scaled value onto the symmetric int8
+// grid: NaN maps to 0 and out-of-range values (±Inf included) clamp to the
+// grid edge, so malformed inputs degrade instead of panicking.
+func quantizeUnit(v float64) int8 {
+	if v != v {
+		return 0
+	}
+	if v >= 127 {
+		return 127
+	}
+	if v <= -127 {
+		return -127
+	}
+	return int8(math.Round(v))
+}
+
+// Inputs returns the network's input dimension.
+func (q *QuantizedNet) Inputs() int { return q.layers[0].in }
+
+// Outputs returns the network's output dimension.
+func (q *QuantizedNet) Outputs() int { return q.layers[len(q.layers)-1].out }
+
+// forwardInto runs one quantized pass, returning a slice owned by s.
+func (q *QuantizedNet) forwardInto(s *qscratch, x []float64) []float64 {
+	in := x
+	nxt := s.a
+	spare := s.b
+	for li := range q.layers {
+		l := &q.layers[li]
+		qin := s.qin[:l.in]
+		for i := range qin {
+			var v float64
+			if i < len(in) {
+				v = in[i]
+			}
+			qin[i] = quantizeUnit(v * l.invIn)
+		}
+		out := nxt[:l.out]
+		for o := 0; o < l.out; o++ {
+			row := l.w[o*l.in : (o+1)*l.in]
+			var acc int32
+			for i, w := range row {
+				acc += int32(w) * int32(qin[i])
+			}
+			out[o] = activate(float64(acc)*l.scale+l.b[o], l.act)
+		}
+		in = out
+		nxt, spare = spare, nxt
+	}
+	_ = spare
+	return in
+}
+
+// PredictBinary returns P(positive) for a binary network. Unlike the
+// float path it tolerates any input shape or value (see the type comment)
+// and always returns a finite probability in [0, 1].
+func (q *QuantizedNet) PredictBinary(x []float64) float64 {
+	if q.Outputs() != 1 {
+		panic("nn: PredictBinary on non-binary net")
+	}
+	s := q.pool.Get().(*qscratch)
+	p := q.forwardInto(s, x)[0]
+	q.pool.Put(s)
+	return p
+}
+
+// PredictBatch writes P(positive) for each input row xs[i] into out[i],
+// borrowing one scratch for the whole batch; out must have at least
+// len(xs) elements. Steady-state calls allocate nothing.
+func (q *QuantizedNet) PredictBatch(xs [][]float64, out []float64) {
+	if q.Outputs() != 1 {
+		panic("nn: PredictBatch on non-binary net")
+	}
+	if len(out) < len(xs) {
+		panic(fmt.Sprintf("nn: PredictBatch output size %d, want >= %d", len(out), len(xs)))
+	}
+	s := q.pool.Get().(*qscratch)
+	for i, x := range xs {
+		out[i] = q.forwardInto(s, x)[0]
+	}
+	q.pool.Put(s)
+}
+
+// PredictClass returns the argmax class for a quantized classifier. The
+// softmax is monotone, so the argmax is taken over the raw head outputs.
+func (q *QuantizedNet) PredictClass(x []float64) int {
+	s := q.pool.Get().(*qscratch)
+	out := q.forwardInto(s, x)
+	best := 0
+	for i, v := range out {
+		if v > out[best] {
+			best = i
+		}
+	}
+	q.pool.Put(s)
+	return best
+}

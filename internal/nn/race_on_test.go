@@ -1,0 +1,9 @@
+//go:build race
+
+package nn
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. AllocsPerRun contracts are skipped under race: sync.Pool
+// intentionally drops items at random when the detector is on, so pooled
+// hot paths re-allocate nondeterministically.
+const raceEnabled = true

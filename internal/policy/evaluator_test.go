@@ -1,0 +1,110 @@
+package policy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"kodan/internal/app"
+	"kodan/internal/hw"
+	"kodan/internal/nn"
+	"kodan/internal/tiling"
+	"kodan/internal/xrand"
+)
+
+// randomProfile builds a profile with k contexts, mixing healthy confusions
+// with zero-total ones (a context no validation tile ever landed in).
+func randomProfile(k int, rng *xrand.Rand) TilingProfile {
+	tp := TilingProfile{Tiling: tiling.Tiling{PerSide: 2 + rng.Intn(10)}}
+	for c := 0; c < k; c++ {
+		cp := ContextProfile{
+			TileFrac:      rng.Float64(),
+			HighValueFrac: rng.Float64(),
+		}
+		fill := func() nn.Confusion {
+			if rng.Intn(5) == 0 {
+				return nn.Confusion{}
+			}
+			return nn.Confusion{
+				TP: rng.Intn(50), FP: rng.Intn(50),
+				TN: rng.Intn(50), FN: rng.Intn(50),
+			}
+		}
+		cp.Generic, cp.Special, cp.Merged = fill(), fill(), fill()
+		tp.Contexts = append(tp.Contexts, cp)
+	}
+	return tp
+}
+
+// TestEvaluatorMatchesEvaluate pins the optimizer's cached evaluator to
+// the reference Evaluate path bit for bit across random profiles,
+// environments, and action vectors. The committed figure goldens depend on
+// this equivalence: if it ever breaks, the fix is in the evaluator, not in
+// regenerating goldens.
+func TestEvaluatorMatchesEvaluate(t *testing.T) {
+	rng := xrand.New(7)
+	actions := []Action{Discard, Downlink, Specialized, Merged, Generic, Deferred}
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.Intn(8)
+		tp := randomProfile(k, rng)
+		env := Env{
+			App:          app.App(1 + rng.Intn(7)),
+			Target:       hw.Targets()[rng.Intn(3)],
+			Deadline:     time.Duration(rng.Intn(10_000_000_000)),
+			CapacityFrac: rng.Float64() * 1.5,
+			FillIdle:     rng.Intn(2) == 0,
+			UseEngine:    rng.Intn(2) == 0,
+		}
+		if rng.Intn(8) == 0 {
+			env.CapacityFrac = 0
+		}
+		ev := newEvaluator(tp, env)
+		sel := Selection{Tiling: tp.Tiling, Actions: make([]Action, k)}
+		for probe := 0; probe < 40; probe++ {
+			for i := range sel.Actions {
+				sel.Actions[i] = actions[rng.Intn(len(actions))]
+			}
+			want := Evaluate(sel, tp, env)
+			got := ev.evaluate(sel.Actions)
+			if !estimatesIdentical(want, got) {
+				t.Fatalf("trial %d probe %d: evaluator diverged\nactions %v env %+v\nwant %+v\ngot  %+v",
+					trial, probe, sel.Actions, env, want, got)
+			}
+		}
+	}
+}
+
+// estimatesIdentical compares every field by exact float bits.
+func estimatesIdentical(a, b Estimate) bool {
+	same := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return a.FrameTime == b.FrameTime &&
+		same(a.ProcessedFrac, b.ProcessedFrac) &&
+		same(a.DVD, b.DVD) &&
+		same(a.Ledger.CapacityBits, b.Ledger.CapacityBits) &&
+		same(a.Ledger.DownlinkedBits, b.Ledger.DownlinkedBits) &&
+		same(a.Ledger.HighValueBits, b.Ledger.HighValueBits) &&
+		same(a.Ledger.ObservedBits, b.Ledger.ObservedBits) &&
+		same(a.Ledger.ObservedHighValueBits, b.Ledger.ObservedHighValueBits)
+}
+
+// TestEvaluatorAllocFree asserts an optimizer probe allocates nothing, so
+// the exhaustive sweep's cost stays linear in probes, not in garbage.
+func TestEvaluatorAllocFree(t *testing.T) {
+	rng := xrand.New(11)
+	tp := randomProfile(6, rng)
+	env := Env{
+		App: app.App(4), Target: hw.Orin15W,
+		Deadline: time.Second, CapacityFrac: 0.2, FillIdle: true, UseEngine: true,
+	}
+	ev := newEvaluator(tp, env)
+	sel := make([]Action, 6)
+	for i := range sel {
+		sel[i] = Specialized
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		_ = ev.evaluate(sel)
+	})
+	if avg != 0 {
+		t.Fatalf("evaluator probe allocates %.1f objects per run, want 0", avg)
+	}
+}

@@ -359,17 +359,30 @@ func optimizeActions(tp TilingProfile, env Env) (Selection, Estimate) {
 
 func exhaustiveSearch(tp TilingProfile, env Env, combos int) (Selection, Estimate) {
 	k := len(tp.Contexts)
+	ev := newEvaluator(tp, env)
 	sel := Selection{Tiling: tp.Tiling, Actions: make([]Action, k)}
 	best := Selection{Tiling: tp.Tiling, Actions: make([]Action, k)}
 	var bestEst Estimate
 	first := true
+	// Odometer enumeration, digit 0 fastest — the same order as decoding
+	// each code by repeated division, without the per-candidate div/mod.
+	digits := make([]int, k)
+	for i := range sel.Actions {
+		sel.Actions[i] = optActions[0]
+	}
 	for code := 0; code < combos; code++ {
-		c := code
-		for i := 0; i < k; i++ {
-			sel.Actions[i] = optActions[c%len(optActions)]
-			c /= len(optActions)
+		if code > 0 {
+			for i := 0; ; i++ {
+				digits[i]++
+				if digits[i] < len(optActions) {
+					sel.Actions[i] = optActions[digits[i]]
+					break
+				}
+				digits[i] = 0
+				sel.Actions[i] = optActions[0]
+			}
 		}
-		est := Evaluate(sel, tp, env)
+		est := ev.evaluate(sel.Actions)
 		if !env.admissible(est.FrameTime) && !isAllElide(sel) {
 			continue
 		}
@@ -385,7 +398,7 @@ func exhaustiveSearch(tp TilingProfile, env Env, combos int) (Selection, Estimat
 		for i := range best.Actions {
 			best.Actions[i] = Discard
 		}
-		bestEst = Evaluate(best, tp, env)
+		bestEst = ev.evaluate(best.Actions)
 	}
 	return best, bestEst
 }
@@ -403,11 +416,12 @@ func isAllElide(s Selection) bool {
 
 func hillClimb(tp TilingProfile, env Env) (Selection, Estimate) {
 	k := len(tp.Contexts)
+	ev := newEvaluator(tp, env)
 	sel := Selection{Tiling: tp.Tiling, Actions: make([]Action, k)}
 	for i := range sel.Actions {
 		sel.Actions[i] = Specialized
 	}
-	est := Evaluate(sel, tp, env)
+	est := ev.evaluate(sel.Actions)
 	for improved := true; improved; {
 		improved = false
 		for i := 0; i < k; i++ {
@@ -417,7 +431,7 @@ func hillClimb(tp TilingProfile, env Env) (Selection, Estimate) {
 					continue
 				}
 				sel.Actions[i] = a
-				cand := Evaluate(sel, tp, env)
+				cand := ev.evaluate(sel.Actions)
 				if (env.admissible(cand.FrameTime) || isAllElide(sel)) && better(cand, est) {
 					est = cand
 					improved = true
@@ -448,6 +462,149 @@ func better(a, b Estimate) bool {
 		return false
 	}
 	return a.FrameTime < b.FrameTime
+}
+
+// evaluator caches every (tiling, environment)-dependent term of Evaluate
+// so the optimizer's inner loop — millions of probes per selection-logic
+// generation — runs allocation-free on precomputed per-context constants.
+// evaluate must stay bit-identical to EvaluateAtTime: the golden figure
+// outputs depend on it (see TestEvaluatorMatchesEvaluate), so every
+// expression below keeps the exact shape and accumulation order of the
+// reference path.
+type evaluator struct {
+	env        Env
+	prevalence float64
+	// baseMs is the context-engine term of the frame time (zero when the
+	// environment does not run the engine).
+	baseMs float64
+	// tf[c] is context c's TileFrac.
+	tf []float64
+	// Flat per-(context, action) tables at index c*numActions+int(a),
+	// turning the probe loop into branch-free table lookups:
+	//
+	//   msAdd    frame-time addend (tiles*TileFrac*PerTileMs for model
+	//            actions, exactly as FrameTime associates it; 0 otherwise —
+	//            adding literal zero to a non-negative sum is exact)
+	//   counted  whether the action queues a chunk (Downlink, or a model
+	//            action whose confusion has nonzero total)
+	//   kept     chunk bits per processed tile fraction: 1 for Downlink
+	//            (x*1 is exact), the confusion's PositiveRate for models
+	//   frac     chunk value per processed tile fraction: HighValueFrac
+	//            for Downlink, TP/Total for models
+	msAdd      []float64
+	counted    []bool
+	kept, frac []float64
+}
+
+// actionStride is the per-context width of the evaluator's flat tables:
+// every Action value, including Deferred (declared past numActions), must
+// index without bounds surprises. Deferred's table entries stay zero —
+// it adds no frame time and queues no chunk, matching Evaluate.
+const actionStride = int(Deferred) + 1
+
+// newEvaluator precomputes the per-context terms for one profile in one
+// environment.
+func newEvaluator(tp TilingProfile, env Env) *evaluator {
+	k := len(tp.Contexts)
+	nA := actionStride
+	e := &evaluator{
+		env:        env,
+		prevalence: tp.Prevalence(),
+		tf:         make([]float64, k),
+		msAdd:      make([]float64, k*nA),
+		counted:    make([]bool, k*nA),
+		kept:       make([]float64, k*nA),
+		frac:       make([]float64, k*nA),
+	}
+	tiles := float64(tp.Tiling.Tiles())
+	if env.UseEngine {
+		e.baseMs = tiles * env.Target.ContextEngineMsPerTile()
+	}
+	for c, cp := range tp.Contexts {
+		e.tf[c] = cp.TileFrac
+		modelMs := tiles * cp.TileFrac * env.App.PerTileMs[env.Target]
+		di := c*nA + int(Downlink)
+		e.counted[di] = true
+		e.kept[di] = 1
+		e.frac[di] = cp.HighValueFrac
+		for _, a := range [...]Action{Specialized, Merged, Generic} {
+			conf := cp.Special
+			switch a {
+			case Merged:
+				conf = cp.Merged
+			case Generic:
+				conf = cp.Generic
+			}
+			idx := c*nA + int(a)
+			e.msAdd[idx] = modelMs
+			total := float64(conf.Total())
+			if total == 0 {
+				// Dead model: costs frame time but queues no chunk.
+				continue
+			}
+			e.counted[idx] = true
+			e.kept[idx] = conf.PositiveRate()
+			e.frac[idx] = float64(conf.TP) / total
+		}
+	}
+	return e
+}
+
+// frameTime is FrameTime over the cached terms.
+func (e *evaluator) frameTime(actions []Action) time.Duration {
+	ms := e.baseMs
+	nA := actionStride
+	for c, a := range actions {
+		ms += e.msAdd[c*nA+int(a)]
+	}
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// evaluate is EvaluateAtTime(sel, tp, env, frameTime(sel)) without the
+// chunk-slice allocation: the drain (value.Drain) is inlined as a running
+// sum because a frame's chunk mix is consumed exactly once, in order.
+func (e *evaluator) evaluate(actions []Action) Estimate {
+	ft := e.frameTime(actions)
+	p := 1.0
+	if ft > e.env.Deadline && ft > 0 {
+		p = float64(e.env.Deadline) / float64(ft)
+	}
+	var totalBits, totalVal float64
+	chunks := 0
+	nA := actionStride
+	for c, a := range actions {
+		idx := c*nA + int(a)
+		if !e.counted[idx] {
+			continue
+		}
+		pf := p * e.tf[c]
+		totalBits += pf * e.kept[idx]
+		totalVal += pf * e.frac[idx]
+		chunks++
+	}
+	if e.env.FillIdle && p < 1 {
+		totalBits += 1 - p
+		totalVal += (1 - p) * e.prevalence
+		chunks++
+	}
+	bits, val := totalBits, totalVal
+	switch {
+	case e.env.CapacityFrac <= 0 || chunks == 0:
+		// Mirrors value.Drain's empty cases: no capacity, or no chunks at
+		// all (all-discard with no filler) downlinks nothing.
+		bits, val = 0, 0
+	case totalBits > e.env.CapacityFrac:
+		f := e.env.CapacityFrac / totalBits
+		bits, val = e.env.CapacityFrac, totalVal*f
+	}
+	led := value.Ledger{
+		CapacityBits:          e.env.CapacityFrac,
+		DownlinkedBits:        bits,
+		HighValueBits:         val,
+		ObservedBits:          1,
+		ObservedHighValueBits: e.prevalence,
+	}
+	return Estimate{FrameTime: ft, ProcessedFrac: p, Ledger: led, DVD: led.DVD()}
 }
 
 // SatellitesForCoverage returns the constellation population needed for

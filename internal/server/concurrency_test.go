@@ -28,7 +28,7 @@ func TestPlanStormDeterministicBodies(t *testing.T) {
 	cfg := testConfig()
 	cfg.Workers = 2
 	cfg.QueueDepth = 16
-	cfg.Transform = func(ctx context.Context, sys *kodan.System, appIndex int) (*kodan.Application, error) {
+	cfg.Transform = func(ctx context.Context, sys *kodan.System, appIndex int, quantized bool) (*kodan.Application, error) {
 		calls.Add(1)
 		c := cur.Add(1)
 		for {
@@ -39,7 +39,7 @@ func TestPlanStormDeterministicBodies(t *testing.T) {
 		}
 		defer cur.Add(-1)
 		time.Sleep(10 * time.Millisecond) // hold the slot so overlap is observable
-		return sys.TransformCtx(ctx, appIndex)
+		return sys.TransformVariantCtx(ctx, appIndex, quantized)
 	}
 	s := New(cfg)
 	defer s.Close()
@@ -105,7 +105,7 @@ func TestSaturationStormRetryAfter(t *testing.T) {
 	cfg := testConfig()
 	cfg.Workers = 1
 	cfg.QueueDepth = 1
-	cfg.Transform = func(ctx context.Context, _ *kodan.System, _ int) (*kodan.Application, error) {
+	cfg.Transform = func(ctx context.Context, _ *kodan.System, _ int, _ bool) (*kodan.Application, error) {
 		<-ctx.Done() // block until the request timeout fires
 		return nil, ctx.Err()
 	}
@@ -170,13 +170,13 @@ func TestGracefulDrainMultipleInFlight(t *testing.T) {
 	release := make(chan struct{})
 	var done atomic.Int64
 	cfg := testConfig()
-	cfg.Transform = func(ctx context.Context, sys *kodan.System, appIndex int) (*kodan.Application, error) {
+	cfg.Transform = func(ctx context.Context, sys *kodan.System, appIndex int, quantized bool) (*kodan.Application, error) {
 		select {
 		case <-release:
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
-		app, err := sys.TransformCtx(ctx, appIndex)
+		app, err := sys.TransformVariantCtx(ctx, appIndex, quantized)
 		done.Add(1)
 		return app, err
 	}

@@ -36,6 +36,10 @@ type planRequest struct {
 	// NoFill disables padding an under-filled link with raw frames
 	// (FillIdle defaults to true, matching Mission.Deployment).
 	NoFill bool `json:"noFill"`
+	// Quantized selects the int8 per-layer-quantized inference variant for
+	// the transformation (the models behind plans and simulations inherit
+	// it; float and quantized artifacts are cached independently).
+	Quantized bool `json:"quantized"`
 	// TimeoutMs caps this request's processing time below the server's
 	// ceiling.
 	TimeoutMs int `json:"timeoutMs"`
@@ -176,9 +180,9 @@ func (s *Server) system(ctx context.Context, seed uint64) (*kodan.System, CacheS
 }
 
 // application returns (computing at most once per key, through the worker
-// pool) the transformed application for (seed, app).
-func (s *Server) application(ctx context.Context, seed uint64, appIndex int) (*kodan.Application, CacheSource, error) {
-	key := fmt.Sprintf("app|%d|%d", seed, appIndex)
+// pool) the transformed application for (seed, app, inference variant).
+func (s *Server) application(ctx context.Context, seed uint64, appIndex int, quantized bool) (*kodan.Application, CacheSource, error) {
+	key := fmt.Sprintf("app|%d|%d|%t", seed, appIndex, quantized)
 	v, src, err := s.cache.Do(ctx, key, func(cctx context.Context) (interface{}, error) {
 		enqueued := time.Now()
 		_, waitSp := telemetry.StartSpan(cctx, "server.pool_wait")
@@ -197,7 +201,8 @@ func (s *Server) application(ctx context.Context, seed uint64, appIndex int) (*k
 		start := time.Now()
 		tctx, trSp := telemetry.StartSpan(cctx, "server.transform")
 		trSp.Set("app", fmt.Sprint(appIndex))
-		app, err := s.cfg.Transform(tctx, sys, appIndex)
+		trSp.Set("quantized", fmt.Sprint(quantized))
+		app, err := s.cfg.Transform(tctx, sys, appIndex, quantized)
 		trSp.End()
 		cancelled := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 		s.metrics.TransformDone(time.Since(start), err, cancelled)
@@ -274,9 +279,9 @@ func (s *Server) deployment(ctx context.Context, req planRequest, target kodan.T
 // so requests that spell the same deployment differently (defaulted vs
 // explicit) share one entry, and float parameters are keyed by their
 // exact bits.
-func planKey(seed uint64, appIndex int, d kodan.Deployment) string {
-	return fmt.Sprintf("plan|%d|%d|%d|%x|%x|%t",
-		seed, appIndex, d.Target, d.Deadline,
+func planKey(seed uint64, appIndex int, quantized bool, d kodan.Deployment) string {
+	return fmt.Sprintf("plan|%d|%d|%t|%d|%x|%x|%t",
+		seed, appIndex, quantized, d.Target, d.Deadline,
 		math.Float64bits(d.CapacityFrac), d.FillIdle)
 }
 
@@ -357,11 +362,12 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 
 // transformResponse is the /v1/transform document.
 type transformResponse struct {
-	Seed     uint64       `json:"seed"`
-	App      int          `json:"app"`
-	AppName  string       `json:"appName"`
-	Tilings  []int        `json:"tilingsPerSide"`
-	Contexts []catalogCtx `json:"contexts"`
+	Seed      uint64       `json:"seed"`
+	App       int          `json:"app"`
+	AppName   string       `json:"appName"`
+	Quantized bool         `json:"quantized"`
+	Tilings   []int        `json:"tilingsPerSide"`
+	Contexts  []catalogCtx `json:"contexts"`
 }
 
 // handleTransform runs (or reuses) the one-time transformation for an
@@ -380,12 +386,12 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	seed := s.seedOf(req)
-	app, src, err := s.application(ctx, seed, req.App)
+	app, src, err := s.application(ctx, seed, req.App, req.Quantized)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	resp := transformResponse{Seed: seed, App: req.App, AppName: app.Arch().Name}
+	resp := transformResponse{Seed: seed, App: req.App, AppName: app.Arch().Name, Quantized: req.Quantized}
 	for _, tl := range app.Tilings() {
 		resp.Tilings = append(resp.Tilings, tl.PerSide)
 	}
@@ -440,8 +446,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	v, src, err := s.cache.Do(ctx, planKey(seed, req.App, d), func(cctx context.Context) (interface{}, error) {
-		app, _, err := s.application(cctx, seed, req.App)
+	v, src, err := s.cache.Do(ctx, planKey(seed, req.App, req.Quantized, d), func(cctx context.Context) (interface{}, error) {
+		app, _, err := s.application(cctx, seed, req.App, req.Quantized)
 		if err != nil {
 			return nil, err
 		}
@@ -493,8 +499,8 @@ type hybridPlacement struct {
 }
 
 // hybridKey extends the plan-cache key with the hybrid knobs.
-func hybridKey(seed uint64, appIndex int, d kodan.Deployment, env kodan.PlannerEnv) string {
-	return fmt.Sprintf("%s|hybrid|%x|%x|%x", planKey(seed, appIndex, d),
+func hybridKey(seed uint64, appIndex int, quantized bool, d kodan.Deployment, env kodan.PlannerEnv) string {
+	return fmt.Sprintf("%s|hybrid|%x|%x|%x", planKey(seed, appIndex, quantized, d),
 		math.Float64bits(env.Costs.GroundPerFrame),
 		math.Float64bits(env.BufferFrames),
 		math.Float64bits(env.FramesBetweenContacts))
@@ -547,8 +553,8 @@ func (s *Server) handleHybridPlan(w http.ResponseWriter, r *http.Request, req pl
 		env.BufferFrames = *req.BufferFrames
 	}
 
-	v, src, err := s.cache.Do(ctx, hybridKey(seed, req.App, d, env), func(cctx context.Context) (interface{}, error) {
-		app, _, err := s.application(cctx, seed, req.App)
+	v, src, err := s.cache.Do(ctx, hybridKey(seed, req.App, req.Quantized, d, env), func(cctx context.Context) (interface{}, error) {
+		app, _, err := s.application(cctx, seed, req.App, req.Quantized)
 		if err != nil {
 			return nil, err
 		}
@@ -663,7 +669,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	d.FillIdle = !req.NoFill
 
 	seed := s.seedOf(req.planRequest)
-	app, _, err := s.application(ctx, seed, req.App)
+	app, _, err := s.application(ctx, seed, req.App, req.Quantized)
 	if err != nil {
 		s.writeError(w, err)
 		return

@@ -131,13 +131,13 @@ func TestRequestIDClientSupplied(t *testing.T) {
 func TestHealthzLiveDuringDrain(t *testing.T) {
 	release := make(chan struct{})
 	cfg := testConfig()
-	cfg.Transform = func(ctx context.Context, sys *kodan.System, appIndex int) (*kodan.Application, error) {
+	cfg.Transform = func(ctx context.Context, sys *kodan.System, appIndex int, quantized bool) (*kodan.Application, error) {
 		select {
 		case <-release:
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
-		return sys.TransformCtx(ctx, appIndex)
+		return sys.TransformVariantCtx(ctx, appIndex, quantized)
 	}
 	s := New(cfg)
 

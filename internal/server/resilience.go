@@ -150,7 +150,7 @@ func transient(err error) bool {
 // pass-through in the default configuration: no chaos means no injected
 // faults, and a healthy transform never accumulates breaker failures.
 func (s *Server) resilientTransform(base TransformFunc) TransformFunc {
-	return func(ctx context.Context, sys *kodan.System, appIndex int) (*kodan.Application, error) {
+	return func(ctx context.Context, sys *kodan.System, appIndex int, quantized bool) (*kodan.Application, error) {
 		scope := s.metrics.Registry().Scope("server.resilience")
 		backoff := s.cfg.RetryBackoff
 		var err error
@@ -160,7 +160,7 @@ func (s *Server) resilientTransform(base TransformFunc) TransformFunc {
 				return nil, ErrBreakerOpen
 			}
 			var app *kodan.Application
-			app, err = s.strikeAndRun(ctx, base, sys, appIndex, scope)
+			app, err = s.strikeAndRun(ctx, base, sys, appIndex, quantized, scope)
 			if err == nil {
 				_, recovered := s.breaker.Record(true)
 				if recovered {
@@ -196,7 +196,7 @@ func (s *Server) resilientTransform(base TransformFunc) TransformFunc {
 }
 
 // strikeAndRun consults the chaos striker, then runs the real transform.
-func (s *Server) strikeAndRun(ctx context.Context, base TransformFunc, sys *kodan.System, appIndex int, scope *telemetry.Scope) (*kodan.Application, error) {
+func (s *Server) strikeAndRun(ctx context.Context, base TransformFunc, sys *kodan.System, appIndex int, quantized bool, scope *telemetry.Scope) (*kodan.Application, error) {
 	st := s.cfg.Chaos.Next()
 	if st.Delay > 0 {
 		scope.Counter("delayed").Inc()
@@ -208,7 +208,7 @@ func (s *Server) strikeAndRun(ctx context.Context, base TransformFunc, sys *koda
 		scope.Counter("injected").Inc()
 		return nil, fault.ErrInjected
 	}
-	return base(ctx, sys, appIndex)
+	return base(ctx, sys, appIndex, quantized)
 }
 
 // retryAttempts resolves the configured attempt budget: 0 means the

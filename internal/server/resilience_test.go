@@ -19,11 +19,11 @@ import (
 // failures calls, then delegates to the real pipeline.
 func flakyTransform(failures int64) (TransformFunc, *atomic.Int64) {
 	var calls atomic.Int64
-	return func(ctx context.Context, sys *kodan.System, appIndex int) (*kodan.Application, error) {
+	return func(ctx context.Context, sys *kodan.System, appIndex int, quantized bool) (*kodan.Application, error) {
 		if calls.Add(1) <= failures {
 			return nil, fault.ErrInjected
 		}
-		return sys.TransformCtx(ctx, appIndex)
+		return sys.TransformVariantCtx(ctx, appIndex, quantized)
 	}, &calls
 }
 
@@ -105,7 +105,7 @@ func TestSustainedFaultsTripBreaker(t *testing.T) {
 	cfg.RetryAttempts = -1 // isolate the breaker from the retry loop
 	cfg.BreakerThreshold = 3
 	cfg.BreakerCooldown = time.Minute
-	cfg.Transform = func(context.Context, *kodan.System, int) (*kodan.Application, error) {
+	cfg.Transform = func(context.Context, *kodan.System, int, bool) (*kodan.Application, error) {
 		return nil, fault.ErrInjected
 	}
 	s := New(cfg)

@@ -42,9 +42,10 @@ import (
 )
 
 // TransformFunc runs the one-time transformation of one application on a
-// built system. The default is (*kodan.System).TransformCtx; tests
-// substitute counting or blocking implementations.
-type TransformFunc func(ctx context.Context, sys *kodan.System, appIndex int) (*kodan.Application, error)
+// built system; quantized selects the int8 inference variant. The default
+// is (*kodan.System).TransformVariantCtx; tests substitute counting or
+// blocking implementations.
+type TransformFunc func(ctx context.Context, sys *kodan.System, appIndex int, quantized bool) (*kodan.Application, error)
 
 // NewSystemFunc builds the transformation workspace for a seed. The
 // default wires Config.TransformConfig into kodan.NewSystemCtx.
@@ -121,8 +122,8 @@ func (c Config) withDefaults() Config {
 		c.NewSystem = kodan.NewSystemCtx
 	}
 	if c.Transform == nil {
-		c.Transform = func(ctx context.Context, sys *kodan.System, appIndex int) (*kodan.Application, error) {
-			return sys.TransformCtx(ctx, appIndex)
+		c.Transform = func(ctx context.Context, sys *kodan.System, appIndex int, quantized bool) (*kodan.Application, error) {
+			return sys.TransformVariantCtx(ctx, appIndex, quantized)
 		}
 	}
 	if c.SimEpoch.IsZero() {

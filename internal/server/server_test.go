@@ -103,9 +103,9 @@ func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
 func TestPlanSingleFlight(t *testing.T) {
 	var calls atomic.Int64
 	cfg := testConfig()
-	cfg.Transform = func(ctx context.Context, sys *kodan.System, appIndex int) (*kodan.Application, error) {
+	cfg.Transform = func(ctx context.Context, sys *kodan.System, appIndex int, quantized bool) (*kodan.Application, error) {
 		calls.Add(1)
-		return sys.TransformCtx(ctx, appIndex)
+		return sys.TransformVariantCtx(ctx, appIndex, quantized)
 	}
 	s := New(cfg)
 	defer s.Close()
@@ -163,7 +163,7 @@ func TestPlanSingleFlight(t *testing.T) {
 func TestClientTimeoutCancelsWorker(t *testing.T) {
 	observed := make(chan struct{})
 	cfg := testConfig()
-	cfg.Transform = func(ctx context.Context, _ *kodan.System, _ int) (*kodan.Application, error) {
+	cfg.Transform = func(ctx context.Context, _ *kodan.System, _ int, _ bool) (*kodan.Application, error) {
 		<-ctx.Done() // simulate a long training loop hitting its ctx check
 		close(observed)
 		return nil, ctx.Err()
@@ -200,7 +200,7 @@ func TestPoolSaturation(t *testing.T) {
 	cfg := testConfig()
 	cfg.Workers = 1
 	cfg.QueueDepth = 1
-	cfg.Transform = func(ctx context.Context, _ *kodan.System, _ int) (*kodan.Application, error) {
+	cfg.Transform = func(ctx context.Context, _ *kodan.System, _ int, _ bool) (*kodan.Application, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}
@@ -267,7 +267,7 @@ func TestMetricsConsistent(t *testing.T) {
 	var snap Snapshot
 	getJSON(t, ts.URL+"/metrics", &snap)
 
-	// Keys populated: sys|7, app|7|2, plan|... => first plan is 3 misses
+	// Keys populated: sys|7, app|7|2|false, plan|... => first plan is 3 misses
 	// (plan, app, sys), the repeat plan is 1 hit, the transform is 1 hit.
 	if snap.Cache.Misses != 3 {
 		t.Errorf("cache misses = %d, want 3", snap.Cache.Misses)
@@ -300,13 +300,13 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	release := make(chan struct{})
 	var computeDone atomic.Value // time.Time of Transform completion
 	cfg := testConfig()
-	cfg.Transform = func(ctx context.Context, sys *kodan.System, appIndex int) (*kodan.Application, error) {
+	cfg.Transform = func(ctx context.Context, sys *kodan.System, appIndex int, quantized bool) (*kodan.Application, error) {
 		select {
 		case <-release:
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
-		app, err := sys.TransformCtx(ctx, appIndex)
+		app, err := sys.TransformVariantCtx(ctx, appIndex, quantized)
 		computeDone.Store(time.Now())
 		return app, err
 	}
@@ -492,5 +492,73 @@ func TestSimulate(t *testing.T) {
 	}
 	if dvd["kodan"] <= dvd["bentpipe"] {
 		t.Errorf("kodan DVD %.3f not above bent pipe %.3f", dvd["kodan"], dvd["bentpipe"])
+	}
+}
+
+// TestTransformQuantizedVariant pins the int8-variant plumbing: quantized
+// requests are transformed and cached independently of float ones (same
+// seed and app, two cache entries), the response echoes the variant, and
+// repeating either variant is a pure cache hit.
+func TestTransformQuantizedVariant(t *testing.T) {
+	var calls, quantCalls atomic.Int64
+	cfg := testConfig()
+	cfg.Transform = func(ctx context.Context, sys *kodan.System, appIndex int, quantized bool) (*kodan.Application, error) {
+		calls.Add(1)
+		if quantized {
+			quantCalls.Add(1)
+		}
+		return sys.TransformVariantCtx(ctx, appIndex, quantized)
+	}
+	s := New(cfg)
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := func(body, wantCache string, wantQuantized bool) {
+		t.Helper()
+		resp, data := post(t, ts.Client(), ts.URL+"/v1/transform", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d (%s)", resp.StatusCode, data)
+		}
+		if got := resp.Header.Get("X-Kodan-Cache"); got != wantCache {
+			t.Fatalf("cache %q, want %q", got, wantCache)
+		}
+		var out transformResponse
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Quantized != wantQuantized {
+			t.Fatalf("response quantized=%v, want %v", out.Quantized, wantQuantized)
+		}
+	}
+
+	req(`{"app":2}`, "miss", false)
+	req(`{"app":2,"quantized":true}`, "miss", true)
+	req(`{"app":2}`, "hit", false)
+	req(`{"app":2,"quantized":true}`, "hit", true)
+
+	if got := calls.Load(); got != 2 {
+		t.Errorf("transform calls = %d, want 2 (one per variant)", got)
+	}
+	if got := quantCalls.Load(); got != 1 {
+		t.Errorf("quantized transform calls = %d, want 1", got)
+	}
+
+	// The plan cache keys the variant too: a quantized plan for the same
+	// deployment is a distinct (cached) artifact, not the float bundle.
+	planQ := `{"app":2,"target":"orin","deadlineMs":24000,"capacityFrac":0.21,"quantized":true}`
+	respF, bundleF := post(t, ts.Client(), ts.URL+"/v1/plan", planBody(2))
+	respQ, bundleQ := post(t, ts.Client(), ts.URL+"/v1/plan", planQ)
+	if respF.StatusCode != http.StatusOK || respQ.StatusCode != http.StatusOK {
+		t.Fatalf("plan statuses %d/%d", respF.StatusCode, respQ.StatusCode)
+	}
+	if respQ.Header.Get("X-Kodan-Cache") != "miss" {
+		t.Errorf("quantized plan served from %q, want its own miss", respQ.Header.Get("X-Kodan-Cache"))
+	}
+	if len(bundleF) == 0 || len(bundleQ) == 0 {
+		t.Fatalf("empty bundle: float=%d quantized=%d bytes", len(bundleF), len(bundleQ))
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("plans re-transformed: calls = %d, want still 2", got)
 	}
 }

@@ -202,10 +202,20 @@ func (s *System) Transform(appIndex int) (*Application, error) {
 // datasets and context engine are read-only after NewSystem, and each
 // (application, tiling) derives its randomness from the seed alone.
 func (s *System) TransformCtx(ctx context.Context, appIndex int) (*Application, error) {
+	return s.TransformVariantCtx(ctx, appIndex, false)
+}
+
+// TransformVariantCtx is TransformCtx with an inference-variant switch:
+// with quantized set, every trained model also derives its int8 twin and
+// all suite predictions — including the quality measurement the selection
+// logic prices — run through the quantized hot path. Training itself stays
+// float and consumes the identical random stream, so the float variant of
+// the same System is unaffected.
+func (s *System) TransformVariantCtx(ctx context.Context, appIndex int, quantized bool) (*Application, error) {
 	if appIndex < 1 || appIndex > len(app.Apps()) {
 		return nil, fmt.Errorf("kodan: no application %d", appIndex)
 	}
-	art, err := s.ws.TransformAppCtx(ctx, app.App(appIndex))
+	art, err := s.ws.WithQuantized(quantized).TransformAppCtx(ctx, app.App(appIndex))
 	if err != nil {
 		return nil, err
 	}

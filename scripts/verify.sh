@@ -45,15 +45,24 @@ if ! awk -v t="$threshold" -v c="$total" 'BEGIN { exit !(c+0 >= t+0) }'; then
 fi
 echo "    total coverage ${total}% (threshold ${threshold}%)"
 
-# Perf-harness smoke: record a baseline from a tiny subset (including the
-# fault-injection resilience sweep), compare a second run against it
-# (generous threshold — this verifies the machinery, not runner speed),
-# and prove the synthetic-regression switch exits nonzero. Mirrored in
+# Fuzz smoke: a bounded run of each native fuzz target over its committed
+# seed corpus plus fresh mutations. Catches quantization/inference
+# robustness regressions (panics, non-finite probabilities) without the
+# open-ended cost of a real fuzzing campaign. Mirrored in
 # .github/workflows/ci.yml.
+echo "==> go test -fuzz smoke (nn)"
+go test ./internal/nn -run '^$' -fuzz '^FuzzPredict$' -fuzztime 10s > /dev/null
+go test ./internal/nn -run '^$' -fuzz '^FuzzQuantize$' -fuzztime 10s > /dev/null
+
+# Perf-harness smoke: record a baseline from a tiny subset (including the
+# fault-injection resilience sweep and the quantized figure-8 variant),
+# compare a second run against it (generous threshold — this verifies the
+# machinery, not runner speed), and prove the synthetic-regression switch
+# exits nonzero. Mirrored in .github/workflows/ci.yml.
 echo "==> kodan-bench baseline smoke"
-go run ./cmd/kodan-bench -size quick -only table1,fig2,resilience,hybridplan \
+go run ./cmd/kodan-bench -size quick -only table1,fig2,resilience,fig8q,hybridplan \
     -json "$smokedir" -timings "$smokedir/baseline.json" > /dev/null
-go run ./cmd/kodan-bench -size quick -only table1,fig2,resilience,hybridplan \
+go run ./cmd/kodan-bench -size quick -only table1,fig2,resilience,fig8q,hybridplan \
     -baseline "$smokedir/baseline.json" -regress-threshold 4 > /dev/null
 if go run ./cmd/kodan-bench -size quick -only table1 \
     -baseline "$smokedir/baseline.json" -regress-threshold -1 > /dev/null 2>&1; then
