@@ -1,8 +1,9 @@
 GO ?= go
 SIZE ?= full
 PARALLEL ?= 0
+APP ?= 4
 
-.PHONY: build test race verify bench bench-check fmt fmtcheck vet trace
+.PHONY: build test race verify bench bench-check fmt fmtcheck vet trace trace-diff
 
 build:
 	$(GO) build ./...
@@ -36,6 +37,19 @@ trace:
 		-trace trace-out/bench.trace.jsonl \
 		-cpuprofile trace-out/bench.cpu.pprof \
 		-memprofile trace-out/bench.mem.pprof
+
+# trace-diff transforms App $(APP) twice — float and int8 quantized —
+# with span tracing and prints the per-phase attribution table: which
+# phase gained or lost time, and which variant attributes changed. The
+# traces land in ./trace-out for further kodan-trace analysis.
+trace-diff:
+	mkdir -p trace-out
+	$(GO) run ./cmd/kodan-transform -app $(APP) \
+		-trace trace-out/transform.float.jsonl > /dev/null
+	$(GO) run ./cmd/kodan-transform -app $(APP) -quantized \
+		-trace trace-out/transform.quant.jsonl > /dev/null
+	$(GO) run ./cmd/kodan-trace diff \
+		trace-out/transform.float.jsonl trace-out/transform.quant.jsonl
 
 # bench runs the Go micro/figure benchmarks, then regenerates every
 # BENCH_*.json artifact by running the full figure suite through

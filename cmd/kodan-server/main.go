@@ -7,7 +7,7 @@
 // Usage:
 //
 //	kodan-server [-addr :8080] [-seed 2023] [-frames 120] [-workers 2] [-queue 8] [-timeout 120s]
-//	             [-debug-addr :6060] [-sample 1s] [-trace FILE] [-log text|json]
+//	             [-debug-addr :6060] [-sample 1s] [-slo-latency 30s] [-trace FILE] [-log text|json]
 //
 // Endpoints:
 //
@@ -22,8 +22,10 @@
 // (expvar, including the server's full metrics snapshot under
 // "kodan.metrics"), and the flight-recorder surface: /debug/dash (live
 // ops dashboard, self-contained HTML over SSE), /debug/dash/stream (the
-// SSE sample feed), and /debug/recorder (JSON export of the retained
-// time-series window). The debug port binds synchronously at startup and
+// SSE sample feed), /debug/recorder (JSON export of the retained
+// time-series window), and /debug/slo (the SLO engine's burn-rate report:
+// per-objective ok/warn/page with fast/slow-window evidence). The debug
+// port binds synchronously at startup and
 // a bind failure is a fatal, clearly logged error — not a background
 // goroutine loss. All of it is kept off the public address so profiling
 // endpoints are never exposed to API clients.
@@ -56,6 +58,7 @@ import (
 	"kodan/internal/server"
 	"kodan/internal/telemetry"
 	"kodan/internal/telemetry/recorder"
+	"kodan/internal/telemetry/slo"
 )
 
 func main() {
@@ -68,6 +71,7 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars, and /debug/dash on this address (empty = disabled)")
 	sample := flag.Duration("sample", time.Second, "flight-recorder sampling interval")
+	sloLatency := flag.Duration("slo-latency", 30*time.Second, "transform-latency SLO threshold (90% of transforms within this)")
 	traceFile := flag.String("trace", "", "write a JSONL span trace to this file at shutdown")
 	logFormat := flag.String("log", "text", "log output format: text or json")
 	verbose := flag.Bool("v", true, "log one line per request")
@@ -113,6 +117,18 @@ func main() {
 	rec.Start()
 	defer rec.Stop()
 
+	// The SLO engine re-evaluates the serving objectives on every recorder
+	// sample, publishing state under server.slo.* (so the dashboard's SLO
+	// panel and /metrics see it) and answering /debug/slo on demand.
+	eng, err := slo.NewEngine(rec, srv.Registry().Scope("server.slo"),
+		slo.DefaultServerObjectives(*sloLatency), slo.Config{})
+	if err != nil {
+		logger.Error("slo engine failed to build", "err", err)
+		os.Exit(1)
+	}
+	eng.Start()
+	defer eng.Stop()
+
 	if *debugAddr != "" {
 		// Bind synchronously so a taken port is a clear startup failure
 		// instead of a background goroutine's log line (or silence).
@@ -132,6 +148,7 @@ func main() {
 			w.Header().Set("Content-Type", "application/json")
 			rec.WriteJSON(w, time.Time{}) //nolint:errcheck // connection owns delivery
 		})
+		http.Handle("/debug/slo", eng.Handler())
 		logger.Info("debug listener started", "addr", dl.Addr().String())
 		go func() {
 			if err := http.Serve(dl, nil); err != nil && !errors.Is(err, net.ErrClosed) {

@@ -20,9 +20,10 @@
 // The two are mutually exclusive.
 //
 // -trace records a span trace of the run (per-satellite propagation,
-// capture, contact-window, and downlink phases) as JSONL and prints an
+// capture, contact-window, and downlink phases, plus the -transform-app
+// training and inference phases when enabled) as JSONL and prints an
 // end-of-run summary — per-phase wall time and the slowest spans — to
-// stderr. -cpuprofile and -memprofile write pprof profiles. None of the
+// stderr. The file feeds kodan-trace (summary, critical, folded, diff). -cpuprofile and -memprofile write pprof profiles. None of the
 // three changes the ledgers: telemetry observes the run, it never feeds
 // back into it.
 //
@@ -260,12 +261,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if tracer != nil {
-		if werr := telemetry.WriteTraceFile(tracer, *traceFile); werr != nil {
-			log.Fatal(werr)
-		}
-		fmt.Fprint(os.Stderr, telemetry.Summarize(tracer, 10).Render())
-	}
 
 	deadline := cfg.Grid.FramePeriod(cfg.BaseOrbit)
 	fmt.Printf("constellation: %d satellites, %d plane(s), %dh, %s payload (%.1f Gbit/frame)\n",
@@ -296,6 +291,16 @@ func main() {
 		if err := printTransform(ctx, res, cfg, *transformApp, *quantized); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	// The trace is flushed last so a -transform-app run records the
+	// transform phases (nn.train, nn.infer, ...) alongside the simulation,
+	// which is what makes float-vs-quantized trace diffs possible.
+	if tracer != nil {
+		if werr := telemetry.WriteTraceFile(tracer, *traceFile); werr != nil {
+			log.Fatal(werr)
+		}
+		fmt.Fprint(os.Stderr, telemetry.Summarize(tracer, 10).Render())
 	}
 }
 

@@ -1,0 +1,106 @@
+// kodan-trace analyzes trace files exported by the instrumented CLIs
+// (kodan-sim/kodan-bench/kodan-transform -trace, kodan-server -trace):
+// per-phase summaries, critical-path extraction, folded stacks for
+// flamegraph tooling, and deterministic two-trace diffs with per-phase
+// attribution.
+//
+// Usage:
+//
+//	kodan-trace summary [-top N] [-shape] FILE
+//	kodan-trace critical FILE
+//	kodan-trace folded FILE
+//	kodan-trace diff FILE_A FILE_B
+//
+// All output is byte-deterministic for the same input file(s): the same
+// trace always renders the same bytes. `summary -shape` prints only phase
+// names and span counts — the part of a trace that is invariant across
+// worker counts and machine speed — so CI can compare runs bit-for-bit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"kodan/internal/telemetry/analyze"
+)
+
+const usage = `usage:
+  kodan-trace summary [-top N] [-shape] FILE   per-phase self/total time (or shape only)
+  kodan-trace critical FILE                    chronological critical path
+  kodan-trace folded FILE                      folded stacks (flamegraph/speedscope)
+  kodan-trace diff FILE_A FILE_B               per-phase delta with attribution
+`
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "kodan-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand\n%s", usage)
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "summary":
+		fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+		top := fs.Int("top", 10, "how many slowest spans to list")
+		shape := fs.Bool("shape", false, "print only phase names and span counts (worker-count invariant)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		t, err := parseOne(fs.Args(), cmd)
+		if err != nil {
+			return err
+		}
+		if *shape {
+			_, err = io.WriteString(stdout, t.RenderShape())
+		} else {
+			_, err = io.WriteString(stdout, t.RenderSummary(*top))
+		}
+		return err
+	case "critical":
+		t, err := parseOne(rest, cmd)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(stdout, t.RenderCritical())
+		return err
+	case "folded":
+		t, err := parseOne(rest, cmd)
+		if err != nil {
+			return err
+		}
+		return analyze.WriteFolded(stdout, t)
+	case "diff":
+		if len(rest) != 2 {
+			return fmt.Errorf("diff wants exactly two trace files, got %d\n%s", len(rest), usage)
+		}
+		a, err := analyze.ParseFile(rest[0])
+		if err != nil {
+			return err
+		}
+		b, err := analyze.ParseFile(rest[1])
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(stdout, analyze.Compare(a, b).Render())
+		return err
+	case "-h", "-help", "--help", "help":
+		_, err := io.WriteString(stdout, usage)
+		return err
+	default:
+		return fmt.Errorf("unknown subcommand %q\n%s", cmd, usage)
+	}
+}
+
+func parseOne(args []string, cmd string) (*analyze.Trace, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("%s wants exactly one trace file, got %d\n%s", cmd, len(args), usage)
+	}
+	return analyze.ParseFile(args[0])
+}

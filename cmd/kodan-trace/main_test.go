@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kodan/internal/telemetry"
+)
+
+// writeTrace records a small two-phase trace and writes its JSONL to a
+// temp file, returning the path. quantized toggles the variant attribute
+// so diff tests see an attribute flip.
+func writeTrace(t *testing.T, quantized string) string {
+	t.Helper()
+	tr := telemetry.NewTracer(0)
+	root := tr.Begin("figure.fig8")
+	c := root.Child("nn.infer")
+	c.Set("quantized", quantized)
+	c.End()
+	root.End()
+	path := filepath.Join(t.TempDir(), "trace-"+quantized+".jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSubcommands(t *testing.T) {
+	a := writeTrace(t, "false")
+	b := writeTrace(t, "true")
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{"summary", []string{"summary", a}, []string{"figure.fig8", "nn.infer", "2 spans"}},
+		{"summary shape", []string{"summary", "-shape", a}, []string{"figure.fig8 1", "nn.infer 1"}},
+		{"critical", []string{"critical", a}, []string{"critical path", "figure.fig8"}},
+		{"folded", []string{"folded", a}, []string{"figure.fig8;nn.infer"}},
+		{"diff", []string{"diff", a, b}, []string{"trace diff", "nn.infer", "quantized: false -> true"}},
+		{"help", []string{"help"}, []string{"usage:"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output of %v missing %q:\n%s", tc.args, want, out.String())
+				}
+			}
+		})
+	}
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	a := writeTrace(t, "false")
+	b := writeTrace(t, "true")
+	for _, args := range [][]string{
+		{"summary", a}, {"summary", "-shape", a}, {"critical", a},
+		{"folded", a}, {"diff", a, b},
+	} {
+		var first bytes.Buffer
+		if err := run(args, &first); err != nil {
+			t.Fatal(err)
+		}
+		var second bytes.Buffer
+		if err := run(args, &second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("%v output differs across runs", args)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	a := writeTrace(t, "false")
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{\"ev\":\"b\",\"id\":1,\"name\":\"x\",\"wallNs\":1}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no subcommand", nil, "missing subcommand"},
+		{"unknown subcommand", []string{"explode"}, "unknown subcommand"},
+		{"summary no file", []string{"summary"}, "exactly one trace file"},
+		{"diff one file", []string{"diff", a}, "exactly two trace files"},
+		{"missing file", []string{"summary", filepath.Join(t.TempDir(), "nope.jsonl")}, "no such file"},
+		{"malformed line number", []string{"summary", bad}, "line 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(tc.args, &out)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	kodan-transform [-app 4] [-target orin|i7|1070ti] [-seed 2023] [-frames 120] [-quantized] [-bundle out.json]
+//	kodan-transform [-app 4] [-target orin|i7|1070ti] [-seed 2023] [-frames 120] [-quantized] [-bundle out.json] [-trace FILE]
 //
 // -quantized derives int8 twins of every trained model and routes all
 // suite predictions — the quality measurement the selection logic prices
 // included — through the quantized hot path. Training stays float, so the
 // flag isolates exactly the inference-path change.
+//
+// -trace records a JSONL span trace of the transformation (workspace
+// preparation, per-tiling training and measurement, nn.train/nn.infer
+// stages with their variant attributes) for kodan-trace; diffing a float
+// run against a -quantized run attributes the speedup per phase.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"time"
 
 	"kodan"
+	"kodan/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +39,7 @@ func main() {
 	frames := flag.Int("frames", 120, "representative dataset size in frames")
 	quantized := flag.Bool("quantized", false, "measure and deploy the int8 quantized inference path")
 	bundleOut := flag.String("bundle", "", "write the deployment bundle (JSON) to this path")
+	traceFile := flag.String("trace", "", "write a JSONL span trace to this file and print a summary to stderr")
 	flag.Parse()
 
 	var target kodan.Target
@@ -72,10 +79,23 @@ func main() {
 	if *quantized {
 		variant = "int8 quantized"
 	}
+	ctx := context.Background()
+	var tracer *telemetry.Tracer
+	if *traceFile != "" {
+		tracer = telemetry.NewTracer(0)
+		ctx = telemetry.WithProbe(ctx, telemetry.Probe{Trace: tracer})
+	}
+
 	fmt.Printf("\ntraining and measuring App %d across tilings (%s inference)...\n", *appIdx, variant)
-	app, err := sys.TransformVariantCtx(context.Background(), *appIdx, *quantized)
+	app, err := sys.TransformVariantCtx(ctx, *appIdx, *quantized)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tracer != nil {
+		if werr := telemetry.WriteTraceFile(tracer, *traceFile); werr != nil {
+			log.Fatal(werr)
+		}
+		fmt.Fprint(os.Stderr, telemetry.Summarize(tracer, 10).Render())
 	}
 
 	d := mission.Deployment(target)

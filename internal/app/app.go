@@ -31,6 +31,7 @@ import (
 	"kodan/internal/hw"
 	"kodan/internal/imagery"
 	"kodan/internal/nn"
+	"kodan/internal/telemetry"
 	"kodan/internal/tiling"
 	"kodan/internal/xrand"
 )
@@ -408,6 +409,14 @@ func BuildSuiteData(cc context.Context, a Architecture, tl tiling.Tiling, data S
 	if opts.PixelsPerTile <= 0 {
 		opts = DefaultTrainOptions()
 	}
+	// The two stages get their own spans so trace diffs can attribute a
+	// float-vs-quantized delta to inference rather than training. The
+	// variant attributes label what changed between two compared runs.
+	tctx, trainSpan := telemetry.StartSpan(cc, "nn.train")
+	defer trainSpan.End() // idempotent: covers the error returns below
+	trainSpan.Set("app", fmt.Sprint(a.Index))
+	trainSpan.Set("quantized", fmt.Sprint(opts.Quantized))
+
 	trainData := data.Train
 	trainLabels := data.TrainLabels
 	val := data.Val
@@ -423,7 +432,7 @@ func BuildSuiteData(cc context.Context, a Architecture, tl tiling.Tiling, data S
 
 	suite := &Suite{Arch: a, Tiling: tl}
 	var err error
-	suite.Generic, err = trainModel(cc, a, -1, allTiles, opts, rng.Split())
+	suite.Generic, err = trainModel(tctx, a, -1, allTiles, opts, rng.Split())
 	if err != nil {
 		return nil, err
 	}
@@ -436,7 +445,7 @@ func BuildSuiteData(cc context.Context, a Architecture, tl tiling.Tiling, data S
 			suite.Special[c] = suite.Generic
 			continue
 		}
-		suite.Special[c], err = trainModel(cc, a, c, tiles, opts, rng.Split())
+		suite.Special[c], err = trainModel(tctx, a, c, tiles, opts, rng.Split())
 		if err != nil {
 			return nil, err
 		}
@@ -462,7 +471,7 @@ func BuildSuiteData(cc context.Context, a Architecture, tl tiling.Tiling, data S
 		if len(tiles) == 0 {
 			m = suite.Generic
 		} else {
-			m, err = trainModel(cc, a, members[0], tiles, opts, rng.Split())
+			m, err = trainModel(tctx, a, members[0], tiles, opts, rng.Split())
 			if err != nil {
 				return nil, err
 			}
@@ -472,10 +481,16 @@ func BuildSuiteData(cc context.Context, a Architecture, tl tiling.Tiling, data S
 		}
 	}
 
+	trainSpan.End()
+
 	// Measure validation quality per context.
 	if err := cc.Err(); err != nil {
 		return nil, err
 	}
+	_, inferSpan := telemetry.StartSpan(cc, "nn.infer")
+	defer inferSpan.End()
+	inferSpan.Set("app", fmt.Sprint(a.Index))
+	inferSpan.Set("quantized", fmt.Sprint(opts.Quantized))
 	q := Quality{App: a.Index, Tiling: tl, K: ctx.K,
 		Generic: make([]nn.Confusion, ctx.K),
 		Special: make([]nn.Confusion, ctx.K),

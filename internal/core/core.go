@@ -220,6 +220,7 @@ func (w *Workspace) TransformAppCtx(ctx context.Context, arch app.Architecture) 
 	ctx, span := telemetry.StartSpan(ctx, "transform.app")
 	defer span.End()
 	span.Set("app", fmt.Sprint(arch.Index))
+	span.Set("quantized", fmt.Sprint(w.Cfg.Quantized))
 	scope := telemetry.ProbeFrom(ctx).Metrics.Scope("transform")
 	art := &Artifacts{Arch: arch, Ctx: w.Ctx, Suites: make(map[int]*app.Suite)}
 	for _, tl := range w.Cfg.Tilings {
@@ -229,6 +230,7 @@ func (w *Workspace) TransformAppCtx(ctx context.Context, arch app.Architecture) 
 		tctx, sp := telemetry.StartSpan(ctx, "transform.tiling")
 		sp.Set("app", fmt.Sprint(arch.Index))
 		sp.Set("tiling", fmt.Sprint(tl.PerSide))
+		sp.Set("quantized", fmt.Sprint(w.Cfg.Quantized))
 		stageStart := time.Now()
 		s := w.data[tl.PerSide]
 		opts := app.DefaultTrainOptions()

@@ -133,6 +133,9 @@ func (l *Lab) probeCtx(ctx context.Context) context.Context {
 func (l *Lab) startFigure(ctx context.Context, name string) (context.Context, *telemetry.Span) {
 	ctx = l.probeCtx(ctx)
 	ctx, sp := telemetry.StartSpan(ctx, "figure."+name)
+	// The worker count is a variant attribute: it labels what differed
+	// when two traces of the same figure are compared.
+	sp.Set("workers", fmt.Sprint(l.workers()))
 	telemetry.ProbeFrom(ctx).Metrics.Scope("lab").Counter("figures").Inc()
 	return ctx, sp
 }

@@ -9,6 +9,7 @@ import (
 	"kodan/internal/fault"
 	"kodan/internal/parallel"
 	"kodan/internal/sim"
+	"kodan/internal/telemetry"
 )
 
 // resilienceSats is the constellation size of the resilience sweep: small
@@ -82,6 +83,11 @@ func (l *Lab) ResilienceSweepCtx(ctx context.Context) ([]ResilienceRow, error) {
 // resilienceRow evaluates one intensity. The schedule seed mixes the
 // sweep index so each intensity draws an independent fault pattern.
 func (l *Lab) resilienceRow(ctx context.Context, intensity float64, idx uint64) (ResilienceRow, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "resilience.row")
+	defer sp.End()
+	// Fault intensity is a variant attribute: trace diffs of a degraded
+	// vs fault-free run label the sweep point that changed.
+	sp.Set("intensity", fmt.Sprintf("%g", intensity))
 	cfg := sim.Landsat8Config(l.Epoch, 24*time.Hour, resilienceSats)
 	cfg.Workers = l.Workers
 	var res *sim.Result

@@ -36,6 +36,8 @@ type Metrics struct {
 	poolOccupancy       *telemetry.Gauge
 	plannerPlans        *telemetry.Counter
 	plannerDeferFrac    *telemetry.Histogram
+	httpRequests        *telemetry.Counter
+	httpErrors          *telemetry.Counter
 }
 
 // routeStats accumulates one route's counters and a bounded latency
@@ -72,6 +74,8 @@ func NewMetrics(window int, reg *telemetry.Registry) *Metrics {
 		poolOccupancy:       scope.Gauge("pool_occupancy"),
 		plannerPlans:        scope.Counter("planner.plans"),
 		plannerDeferFrac:    scope.Histogram("planner.defer_frac"),
+		httpRequests:        scope.Counter("http.requests_total"),
+		httpErrors:          scope.Counter("http.errors"),
 	}
 }
 
@@ -81,9 +85,14 @@ func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
 
 // Observe records one served request.
 func (m *Metrics) Observe(route string, status int, d time.Duration) {
-	// Registry-side counter so the flight recorder sees request rate as a
-	// time series (the reservoir below only answers point-in-time).
+	// Registry-side counters so the flight recorder sees request rate as a
+	// time series (the reservoir below only answers point-in-time). The
+	// route-agnostic total and the 5xx counter feed the http-errors SLO.
 	m.reg.Counter("server.http.requests" + route).Inc()
+	m.httpRequests.Inc()
+	if status >= 500 {
+		m.httpErrors.Inc()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rs, ok := m.routes[route]

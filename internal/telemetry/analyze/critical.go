@@ -1,0 +1,102 @@
+package analyze
+
+import "time"
+
+// Step is one chronological segment of the critical path: the interval
+// [FromNs, ToNs) during which Span was the deepest work on the path.
+type Step struct {
+	Span   *Span
+	FromNs int64
+	ToNs   int64
+}
+
+// Dur is the segment's length.
+func (s Step) Dur() time.Duration { return time.Duration(s.ToNs - s.FromNs) }
+
+// CriticalPath extracts the chain of work that bounded the trace's wall
+// time: starting from the longest root span, it repeatedly descends into
+// the child that finishes last, attributing each uncovered gap to the
+// parent's own work. The result is a chronological sequence of segments
+// whose durations sum to the root's duration.
+//
+// The walk is the standard "last-finishing child" backward pass: at any
+// instant the critical path is in the child that ends latest before the
+// current frontier, or in the parent itself if no child covers the
+// frontier. Ties (equal end or duration) break on span ID, so the same
+// trace always yields the same path.
+func (t *Trace) CriticalPath() []Step {
+	if len(t.Roots) == 0 {
+		return nil
+	}
+	root := t.Roots[0]
+	for _, r := range t.Roots[1:] {
+		if r.Dur() > root.Dur() || (r.Dur() == root.Dur() && r.ID < root.ID) {
+			root = r
+		}
+	}
+	// Segments are discovered frontier-backward (reverse chronological);
+	// flip once at the end.
+	var rev []Step
+	criticalWalk(root, root.StartNs, root.EndNs, &rev)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// criticalWalk appends n's critical segments within [lo, hi) to out in
+// reverse chronological order.
+func criticalWalk(n *Span, lo, hi int64, out *[]Step) {
+	frontier := hi
+	// Walk children from latest-ending to earliest. Children is sorted by
+	// start ascending; scanning from the back approximates end-descending,
+	// but overlapping workers break that, so pick the max explicitly.
+	remaining := append([]*Span(nil), n.Children...)
+	for frontier > lo {
+		var best *Span
+		bestIdx := -1
+		for i, c := range remaining {
+			if c == nil || c.StartNs >= frontier {
+				continue
+			}
+			end := c.EndNs
+			if end > frontier {
+				end = frontier
+			}
+			if best == nil || end > bestEnd(best, frontier) ||
+				(end == bestEnd(best, frontier) && c.ID < best.ID) {
+				best, bestIdx = c, i
+			}
+		}
+		if best == nil {
+			break
+		}
+		remaining[bestIdx] = nil
+		cLo, cHi := best.StartNs, best.EndNs
+		if cLo < lo {
+			cLo = lo
+		}
+		if cHi > frontier {
+			cHi = frontier
+		}
+		if cHi <= cLo {
+			continue
+		}
+		if cHi < frontier {
+			// The parent's own work covered (cHi, frontier).
+			*out = append(*out, Step{Span: n, FromNs: cHi, ToNs: frontier})
+		}
+		criticalWalk(best, cLo, cHi, out)
+		frontier = cLo
+	}
+	if frontier > lo {
+		*out = append(*out, Step{Span: n, FromNs: lo, ToNs: frontier})
+	}
+}
+
+func bestEnd(s *Span, frontier int64) int64 {
+	if s.EndNs > frontier {
+		return frontier
+	}
+	return s.EndNs
+}

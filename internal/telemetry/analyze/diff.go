@@ -1,0 +1,181 @@
+package analyze
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"kodan/internal/telemetry"
+)
+
+// DiffRow is one phase's contribution to the difference between two
+// traces, keyed by span name.
+type DiffRow struct {
+	Name   string
+	CountA int
+	CountB int
+	SelfA  time.Duration
+	SelfB  time.Duration
+	// Delta is SelfB - SelfA: positive means the phase got slower in B.
+	Delta time.Duration
+	// AttrPct is this phase's share of the net self-time change,
+	// 100·Delta/(ΣSelfB−ΣSelfA). Shares are signed: a phase moving
+	// against the net direction gets a negative share. Zero when the
+	// traces' totals are equal.
+	AttrPct float64
+}
+
+// AttrChange reports an attribute whose observed value set differs
+// between the two traces for one phase — the label that says *what*
+// changed between the runs (e.g. quantized=false -> true).
+type AttrChange struct {
+	Phase string
+	Key   string
+	A     string
+	B     string
+}
+
+// Diff is the deterministic comparison of two traces.
+type Diff struct {
+	// Rows has one entry per phase present in either trace, ordered by
+	// |Delta| descending (name breaks ties).
+	Rows []DiffRow
+	// SelfA and SelfB are each trace's summed self time; their difference
+	// is the net change the rows attribute.
+	SelfA time.Duration
+	SelfB time.Duration
+	// SpansA and SpansB count each trace's finished spans.
+	SpansA int
+	SpansB int
+	// AttrChanges lists variant attributes whose value sets differ,
+	// ordered by (Phase, Key). The request-ID attribute is excluded —
+	// it differs between any two runs by construction.
+	AttrChanges []AttrChange
+}
+
+// Net is the overall self-time change, SelfB - SelfA.
+func (d Diff) Net() time.Duration { return d.SelfB - d.SelfA }
+
+// Compare diffs two traces phase by phase. Output depends only on the
+// two inputs; the same pair of traces always produces the same Diff.
+func Compare(a, b *Trace) Diff {
+	type side struct {
+		count int
+		self  time.Duration
+	}
+	phases := make(map[string]*[2]side)
+	tally := func(t *Trace, idx int) time.Duration {
+		var total time.Duration
+		for _, sp := range t.Spans {
+			p, ok := phases[sp.Name]
+			if !ok {
+				p = &[2]side{}
+				phases[sp.Name] = p
+			}
+			p[idx].count++
+			p[idx].self += sp.Self()
+			total += sp.Self()
+		}
+		return total
+	}
+	d := Diff{
+		SelfA:  tally(a, 0),
+		SelfB:  tally(b, 1),
+		SpansA: len(a.Spans),
+		SpansB: len(b.Spans),
+	}
+	net := d.Net()
+	for name, p := range phases {
+		row := DiffRow{
+			Name:   name,
+			CountA: p[0].count,
+			CountB: p[1].count,
+			SelfA:  p[0].self,
+			SelfB:  p[1].self,
+			Delta:  p[1].self - p[0].self,
+		}
+		if net != 0 {
+			row.AttrPct = 100 * float64(row.Delta) / float64(net)
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	sort.Slice(d.Rows, func(i, j int) bool {
+		di, dj := d.Rows[i].Delta, d.Rows[j].Delta
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		if di != dj {
+			return di > dj
+		}
+		return d.Rows[i].Name < d.Rows[j].Name
+	})
+	d.AttrChanges = attrChanges(a, b)
+	return d
+}
+
+// attrValueCap bounds how many distinct values one attribute's rendering
+// lists; beyond it the set is summarized, keeping diff output readable
+// when an attribute is per-item (station names, app indices).
+const attrValueCap = 4
+
+// attrChanges collects, per (phase, attribute key), the set of values
+// observed on each side and reports the keys whose sets differ.
+func attrChanges(a, b *Trace) []AttrChange {
+	type pk struct{ phase, key string }
+	vals := make(map[pk]*[2]map[string]bool)
+	collect := func(t *Trace, idx int) {
+		for _, sp := range t.Spans {
+			for k, v := range sp.Attrs {
+				if k == telemetry.RequestIDAttr {
+					continue
+				}
+				key := pk{sp.Name, k}
+				m, ok := vals[key]
+				if !ok {
+					m = &[2]map[string]bool{{}, {}}
+					vals[key] = m
+				}
+				m[idx][v] = true
+			}
+		}
+	}
+	collect(a, 0)
+	collect(b, 1)
+	var out []AttrChange
+	for key, m := range vals {
+		ra, rb := renderValueSet(m[0]), renderValueSet(m[1])
+		if ra != rb {
+			out = append(out, AttrChange{Phase: key.phase, Key: key.key, A: ra, B: rb})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Phase != out[j].Phase {
+			return out[i].Phase < out[j].Phase
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// renderValueSet renders a value set deterministically: sorted, comma
+// joined, truncated past attrValueCap with a +N more marker.
+func renderValueSet(set map[string]bool) string {
+	if len(set) == 0 {
+		return "(unset)"
+	}
+	vs := make([]string, 0, len(set))
+	for v := range set {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	if len(vs) > attrValueCap {
+		extra := len(vs) - attrValueCap
+		vs = vs[:attrValueCap]
+		return strings.Join(vs, ",") + ",(+" + strconv.Itoa(extra) + " more)"
+	}
+	return strings.Join(vs, ",")
+}

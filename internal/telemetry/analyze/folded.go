@@ -1,0 +1,53 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Folded renders the trace as folded stacks — the interchange format
+// flamegraph.pl and speedscope both accept: one line per unique stack,
+// frames joined by ";", followed by a space and the stack's value. The
+// value is self time in microseconds (rounded down), so a flamegraph's
+// box widths show where wall time was actually spent, not double-counted
+// through parents. Stacks are emitted in lexicographic order, making the
+// output byte-deterministic for a given trace. Stacks whose self time
+// rounds to zero microseconds are kept (value 0) so the shape of the
+// trace survives even for fast phases.
+func (t *Trace) Folded() []string {
+	agg := make(map[string]int64)
+	var visit func(sp *Span, prefix string)
+	visit = func(sp *Span, prefix string) {
+		stack := prefix + sp.Name
+		agg[stack] += int64(sp.Self())
+		for _, c := range sp.Children {
+			visit(c, stack+";")
+		}
+	}
+	for _, r := range t.Roots {
+		visit(r, "")
+	}
+	stacks := make([]string, 0, len(agg))
+	for s := range agg {
+		stacks = append(stacks, s)
+	}
+	sort.Strings(stacks)
+	lines := make([]string, len(stacks))
+	for i, s := range stacks {
+		lines[i] = fmt.Sprintf("%s %d", s, agg[s]/1000)
+	}
+	return lines
+}
+
+// WriteFolded writes the folded stacks, one per line. An empty trace
+// writes nothing.
+func WriteFolded(w io.Writer, t *Trace) error {
+	lines := t.Folded()
+	if len(lines) == 0 {
+		return nil
+	}
+	_, err := io.WriteString(w, strings.Join(lines, "\n")+"\n")
+	return err
+}

@@ -137,10 +137,19 @@ const PANELS = [
                 return h && h.delta > 0 ? h.mean * 100 : null; } },
   { key: "reqs",    title: "request rate", unit: "req/s",
     get: s => { const c = s.counters||{};
+                const t = c["server.http.requests_total"];
+                if (t) return t.rate;
                 let r = null;
-                for (const k in c) if (k.startsWith("server.http.requests"))
+                for (const k in c) if (k.startsWith("server.http.requests/"))
                   r = (r||0) + c[k].rate;
                 return r; } },
+  { key: "slo",     title: "slo worst state", unit: "0 ok · 1 warn · 2 page",
+    get: s => { const g = s.gauges||{};
+                let worst = null;
+                for (const k in g)
+                  if (k.startsWith("server.slo.") && k.endsWith(".state"))
+                    worst = Math.max(worst === null ? 0 : worst, g[k].value);
+                return worst; } },
 ];
 const MAXPTS = 300, series = {}, latest = {};
 const grid = document.getElementById("grid");

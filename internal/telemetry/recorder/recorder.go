@@ -341,6 +341,32 @@ func (r *Recorder) Samples(since time.Time) []Sample {
 	return out
 }
 
+// Fine returns the most recent n full-resolution samples, oldest first
+// (fewer if the fine ring holds less; nil on a nil recorder or n <= 0).
+// This is the windowing primitive for differential consumers — the SLO
+// burn-rate engine reads its fast and slow windows from here.
+func (r *Recorder) Fine(n int) []Sample {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	all := r.fine.all()
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// HistogramBucketDelta returns the named histogram's per-bucket count
+// deltas over this sample's interval — index i counts observations that
+// fell at or under telemetry.BucketUpperBound(i). Nil when the histogram
+// did not exist at sample time. The slice is shared with the recorder's
+// ring; callers must treat it as read-only.
+func (s Sample) HistogramBucketDelta(name string) []int64 {
+	return s.histDeltas[name]
+}
+
 // Window is the JSON export of a history window.
 type Window struct {
 	IntervalMs int64    `json:"intervalMs"`

@@ -314,3 +314,68 @@ func TestNilRecorderIsNoOp(t *testing.T) {
 		t.Error("New(nil) should return nil")
 	}
 }
+
+func TestFineWindowing(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Scope("t").Counter("ticks")
+	r := New(reg, Options{Capacity: 8})
+	prime(r)
+	for i := 0; i < 5; i++ {
+		c.Inc()
+		r.Record()
+	}
+	if got := len(r.Fine(3)); got != 3 {
+		t.Fatalf("Fine(3) returned %d samples, want 3", got)
+	}
+	if got := len(r.Fine(100)); got != 5 {
+		t.Fatalf("Fine(100) returned %d samples, want all 5", got)
+	}
+	// Oldest first: the last sample must be the most recent (highest total).
+	win := r.Fine(2)
+	if win[1].Counters["t.ticks"].Total != 5 {
+		t.Errorf("Fine window not oldest-first: %+v", win)
+	}
+	if r.Fine(0) != nil {
+		t.Error("Fine(0) should be nil")
+	}
+	var nilRec *Recorder
+	if nilRec.Fine(3) != nil {
+		t.Error("nil recorder Fine should be nil")
+	}
+}
+
+func TestHistogramBucketDelta(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Scope("t").Histogram("lat")
+	r := New(reg, Options{})
+	prime(r)
+	h.Observe(0.5) // one observation in a known value range
+	s := r.Record()
+	buckets := s.HistogramBucketDelta("t.lat")
+	if buckets == nil {
+		t.Fatal("HistogramBucketDelta returned nil for a live histogram")
+	}
+	var total int64
+	var under, over int64
+	for i, n := range buckets {
+		total += n
+		if telemetry.BucketUpperBound(i) <= 1.0 {
+			under += n
+		} else {
+			over += n
+		}
+	}
+	if total != 1 || under != 1 || over != 0 {
+		t.Errorf("bucket deltas total=%d under(1s)=%d over=%d, want 1/1/0", total, under, over)
+	}
+	if s.HistogramBucketDelta("t.missing") != nil {
+		t.Error("unknown histogram should yield nil deltas")
+	}
+	// The next interval saw nothing: deltas must all be zero.
+	s2 := r.Record()
+	for i, n := range s2.HistogramBucketDelta("t.lat") {
+		if n != 0 {
+			t.Errorf("idle interval bucket %d delta = %d, want 0", i, n)
+		}
+	}
+}

@@ -189,3 +189,89 @@ func TestSummarize(t *testing.T) {
 	}
 	_ = empty.Render()
 }
+
+// TestWriteJSONLWithUnfinishedSpans: spans still open at export time
+// appear as begin events without a matching end — the analyzer reports
+// them as unfinished — and Spans() omits them.
+func TestWriteJSONLWithUnfinishedSpans(t *testing.T) {
+	tr := NewTracer(0)
+	tr.clock = fixedClock()
+	open := tr.Begin("still-open")
+	done := open.Child("closed")
+	done.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	begins, ends := map[int64]bool{}, map[int64]bool{}
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		switch e.Ev {
+		case "b":
+			begins[e.ID] = true
+		case "e":
+			ends[e.ID] = true
+		}
+	}
+	if len(begins) != 2 || len(ends) != 1 {
+		t.Fatalf("begins=%d ends=%d, want 2/1", len(begins), len(ends))
+	}
+	if ends[open.id] {
+		t.Error("unfinished span has an end event")
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "closed" {
+		t.Fatalf("Spans() = %+v, want only the closed child", spans)
+	}
+}
+
+// TestOutOfOrderEnd: ending a parent before its child is legal (workers
+// may outlive the spawning span); both spans still pair up.
+func TestOutOfOrderEnd(t *testing.T) {
+	tr := NewTracer(0)
+	tr.clock = fixedClock()
+	parent := tr.Begin("parent")
+	child := parent.Child("child")
+	parent.End() // out of order: parent first
+	child.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("Spans() = %d, want 2", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["child"].Parent != byName["parent"].ID {
+		t.Error("out-of-order end broke parent linkage")
+	}
+	if byName["child"].Dur < byName["parent"].Dur {
+		t.Errorf("child (%v) should outlive parent (%v) here", byName["child"].Dur, byName["parent"].Dur)
+	}
+}
+
+// TestSummarizeDroppedAccounting: Summarize must surface the cap's
+// dropped-event count and digest only the spans that survived.
+func TestSummarizeDroppedAccounting(t *testing.T) {
+	tr := NewTracer(4)
+	tr.clock = fixedClock()
+	for i := 0; i < 8; i++ {
+		tr.Begin("burst").End()
+	}
+	sum := Summarize(tr, 0)
+	if sum.Dropped != 12 { // 16 events, 4 stored
+		t.Fatalf("Dropped = %d, want 12", sum.Dropped)
+	}
+	if sum.Spans != 2 { // b1,e1,b2,e2 stored
+		t.Fatalf("Spans = %d, want 2", sum.Spans)
+	}
+	if got := sum.Render(); !strings.Contains(got, "12 events dropped") {
+		t.Errorf("Render() does not mention the drop count:\n%s", got)
+	}
+}

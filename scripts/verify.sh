@@ -54,6 +54,35 @@ echo "==> go test -fuzz smoke (nn)"
 go test ./internal/nn -run '^$' -fuzz '^FuzzPredict$' -fuzztime 10s > /dev/null
 go test ./internal/nn -run '^$' -fuzz '^FuzzQuantize$' -fuzztime 10s > /dev/null
 
+# Trace-analysis smoke: record span traces of the same short mission at
+# two worker counts, run every kodan-trace subcommand over them, and
+# assert the analyzer sees the identical span forest — summary -shape
+# (phase names and span counts, no timings) must be byte-identical across
+# -parallel 1 and -parallel 4, and analyzing the same trace twice must be
+# byte-identical. Mirrored in .github/workflows/ci.yml.
+echo "==> kodan-trace smoke"
+go run ./cmd/kodan-sim -hours 2 -sats 2 -parallel 1 \
+    -trace "$smokedir/sim.p1.jsonl" > /dev/null 2> /dev/null
+go run ./cmd/kodan-sim -hours 2 -sats 2 -parallel 4 \
+    -trace "$smokedir/sim.p4.jsonl" > /dev/null 2> /dev/null
+go run ./cmd/kodan-trace summary "$smokedir/sim.p1.jsonl" > /dev/null
+go run ./cmd/kodan-trace critical "$smokedir/sim.p1.jsonl" > /dev/null
+go run ./cmd/kodan-trace folded "$smokedir/sim.p1.jsonl" > /dev/null
+go run ./cmd/kodan-trace diff "$smokedir/sim.p1.jsonl" "$smokedir/sim.p4.jsonl" > /dev/null
+go run ./cmd/kodan-trace summary -shape "$smokedir/sim.p1.jsonl" > "$smokedir/shape.p1"
+go run ./cmd/kodan-trace summary -shape "$smokedir/sim.p4.jsonl" > "$smokedir/shape.p4"
+if ! cmp -s "$smokedir/shape.p1" "$smokedir/shape.p4"; then
+    echo "verify: trace shape differs across -parallel 1 vs 4" >&2
+    diff "$smokedir/shape.p1" "$smokedir/shape.p4" >&2 || true
+    exit 1
+fi
+go run ./cmd/kodan-trace summary "$smokedir/sim.p1.jsonl" > "$smokedir/sum.a"
+go run ./cmd/kodan-trace summary "$smokedir/sim.p1.jsonl" > "$smokedir/sum.b"
+if ! cmp -s "$smokedir/sum.a" "$smokedir/sum.b"; then
+    echo "verify: kodan-trace summary is not deterministic for the same trace" >&2
+    exit 1
+fi
+
 # Perf-harness smoke: record a baseline from a tiny subset (including the
 # fault-injection resilience sweep and the quantized figure-8 variant),
 # compare a second run against it (generous threshold — this verifies the
