@@ -3,7 +3,7 @@ SIZE ?= full
 PARALLEL ?= 0
 APP ?= 4
 
-.PHONY: build test race verify bench bench-check fmt fmtcheck vet trace trace-diff
+.PHONY: build test race verify bench bench-check fmt fmtcheck vet trace trace-diff events
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,22 @@ trace-diff:
 		-trace trace-out/transform.quant.jsonl > /dev/null
 	$(GO) run ./cmd/kodan-trace diff \
 		trace-out/transform.float.jsonl trace-out/transform.quant.jsonl
+
+# events journals a clean and a seeded-fault mission, prints the faulted
+# timeline and its anomaly findings, and diffs the two journals. The
+# JSONL journals land in ./events-out for further kodan-events analysis.
+# The anomalies step exits 2 by design (findings found), so it is guarded.
+events:
+	mkdir -p events-out
+	$(GO) run ./cmd/kodan-sim -hours 6 -sats 4 -parallel $(PARALLEL) \
+		-events events-out/mission.jsonl > /dev/null
+	$(GO) run ./cmd/kodan-sim -hours 6 -sats 4 -parallel $(PARALLEL) \
+		-fault-intensity 1 -fault-seed 7 \
+		-events events-out/mission.faulted.jsonl > /dev/null
+	$(GO) run ./cmd/kodan-events timeline events-out/mission.faulted.jsonl
+	$(GO) run ./cmd/kodan-events anomalies events-out/mission.faulted.jsonl || true
+	$(GO) run ./cmd/kodan-events diff \
+		events-out/mission.jsonl events-out/mission.faulted.jsonl
 
 # bench runs the Go micro/figure benchmarks, then regenerates every
 # BENCH_*.json artifact by running the full figure suite through

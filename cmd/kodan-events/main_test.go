@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"kodan/internal/telemetry/events"
+)
+
+// writeJournal materializes a journal file for the CLI to consume.
+func writeJournal(t *testing.T, j *events.Journal) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	if err := events.WriteFile(j, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+var epoch = time.Date(2027, 3, 14, 0, 0, 0, 0, time.UTC)
+
+func at(d time.Duration) int64 { return epoch.Add(d).UnixNano() }
+
+// cleanJournal is a steady mission the anomaly engine stays quiet on.
+func cleanJournal() *events.Journal {
+	j := events.NewJournal()
+	for i := 0; i < 24; i++ {
+		j.Emit(events.Event{SimNs: at(time.Duration(i) * 15 * time.Minute), Type: events.Capture, Sat: 0, Detail: "P001R001"})
+	}
+	for i := 0; i < 4; i++ {
+		base := time.Duration(i) * 90 * time.Minute
+		j.Emit(events.Event{SimNs: at(base), Type: events.ContactStart, Sat: 0, Station: "Svalbard"})
+		j.Emit(events.Event{SimNs: at(base + 8*time.Minute), Type: events.ContactEnd, Sat: 0, Station: "Svalbard", Value: 480})
+		j.Emit(events.Event{SimNs: at(base + time.Minute), Type: events.DownlinkGrant, Sat: 0, Station: "Svalbard", Value: 300})
+	}
+	return j
+}
+
+// starvedJournal is the same mission with every grant removed — the
+// contact-starvation rule must fire.
+func starvedJournal() *events.Journal {
+	j := events.NewJournal()
+	for i := 0; i < 24; i++ {
+		j.Emit(events.Event{SimNs: at(time.Duration(i) * 15 * time.Minute), Type: events.Capture, Sat: 0, Detail: "P001R001"})
+	}
+	return j
+}
+
+func TestSummarySubcommand(t *testing.T) {
+	path := writeJournal(t, cleanJournal())
+	var out bytes.Buffer
+	code, err := run([]string{"summary", path}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("summary: code %d, err %v", code, err)
+	}
+	if !strings.Contains(out.String(), "journal: 36 events") {
+		t.Fatalf("summary output = %q", out.String())
+	}
+}
+
+func TestTimelineSubcommand(t *testing.T) {
+	path := writeJournal(t, cleanJournal())
+	var out bytes.Buffer
+	code, err := run([]string{"timeline", "-width", "40", path}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("timeline: code %d, err %v", code, err)
+	}
+	if !strings.Contains(out.String(), "mission timeline:") || !strings.Contains(out.String(), "sat 0") {
+		t.Fatalf("timeline output = %q", out.String())
+	}
+	// Deterministic: same file, same bytes.
+	var again bytes.Buffer
+	if _, err := run([]string{"timeline", "-width", "40", path}, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out.String() {
+		t.Fatal("timeline render unstable across invocations")
+	}
+}
+
+func TestAnomaliesExitCodes(t *testing.T) {
+	clean := writeJournal(t, cleanJournal())
+	var out bytes.Buffer
+	code, err := run([]string{"anomalies", clean}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("clean journal: code %d, err %v, out %q", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "anomalies: none") {
+		t.Fatalf("clean output = %q", out.String())
+	}
+
+	starved := writeJournal(t, starvedJournal())
+	out.Reset()
+	code, err = run([]string{"anomalies", starved}, &out)
+	if err != nil {
+		t.Fatalf("starved journal err: %v", err)
+	}
+	if code != 2 {
+		t.Fatalf("starved journal exit code = %d, want 2", code)
+	}
+	if !strings.Contains(out.String(), "contact-starvation") {
+		t.Fatalf("starved output = %q", out.String())
+	}
+}
+
+func TestAnomaliesThresholdValidation(t *testing.T) {
+	path := writeJournal(t, cleanJournal())
+	for _, args := range [][]string{
+		{"anomalies", "-starvation-frac", "0", path},
+		{"anomalies", "-starvation-frac", "1.5", path},
+		{"anomalies", "-gap-factor", "0.5", path},
+		{"anomalies", "-corr-frac", "2", path},
+		{"anomalies", "-min-fault", "10ms", path},
+	} {
+		if code, err := run(args, &bytes.Buffer{}); err == nil || code != 1 {
+			t.Fatalf("args %v accepted (code %d, err %v)", args, code, err)
+		}
+	}
+}
+
+func TestDiffSubcommand(t *testing.T) {
+	a := writeJournal(t, cleanJournal())
+	b := writeJournal(t, starvedJournal())
+	var out bytes.Buffer
+	code, err := run([]string{"diff", a, b}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("diff: code %d, err %v", code, err)
+	}
+	if !strings.Contains(out.String(), "journal diff:") || !strings.Contains(out.String(), "downlink_grant") {
+		t.Fatalf("diff output = %q", out.String())
+	}
+	if code, err := run([]string{"diff", a}, &bytes.Buffer{}); err == nil || code != 1 {
+		t.Fatal("diff with one file accepted")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if code, err := run(nil, &bytes.Buffer{}); err == nil || code != 1 {
+		t.Fatal("no subcommand accepted")
+	}
+	if code, err := run([]string{"warp"}, &bytes.Buffer{}); err == nil || code != 1 {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if code, err := run([]string{"summary", "/does/not/exist.jsonl"}, &bytes.Buffer{}); err == nil || code != 1 {
+		t.Fatal("missing file accepted")
+	}
+	// A corrupt journal is rejected with a line number.
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{\"simNs\":1,\"type\":\"capture\",\"sat\":0}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := run([]string{"summary", bad}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("corrupt journal error = %v", err)
+	}
+	var out bytes.Buffer
+	if code, err := run([]string{"help"}, &out); err != nil || code != 0 || !strings.Contains(out.String(), "usage:") {
+		t.Fatal("help failed")
+	}
+}

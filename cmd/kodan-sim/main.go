@@ -7,7 +7,7 @@
 //	kodan-sim [-sats 4] [-hours 24] [-planes 1] [-camera ms|hyper] [-parallel N]
 //	          [-faults FILE | -fault-intensity X [-fault-seed N]]
 //	          [-transform-app N [-quantized]]
-//	          [-trace FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	          [-events FILE] [-trace FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -parallel bounds the per-satellite propagation worker pool (0 =
 // GOMAXPROCS, 1 = sequential); every setting produces identical ledgers.
@@ -18,6 +18,13 @@
 // -fault-intensity generates a schedule deterministically from -fault-seed
 // instead; the same seed and intensity always produce the same faults.
 // The two are mutually exclusive.
+//
+// -events writes the mission event journal — captures, scene boundaries,
+// contact windows, downlink grants, fault windows, planner dispositions,
+// and the deferral-drain replay — as strict JSONL stamped in *sim* time
+// (the simulated instant, not wall time). The journal is byte-identical
+// at every -parallel setting and feeds kodan-events (summary, timeline,
+// anomalies, diff). Like -trace, it observes the run without changing it.
 //
 // -trace records a span trace of the run (per-satellite propagation,
 // capture, contact-window, and downlink phases, plus the -transform-app
@@ -69,6 +76,7 @@ import (
 	"kodan/internal/sense"
 	"kodan/internal/sim"
 	"kodan/internal/telemetry"
+	"kodan/internal/telemetry/events"
 	"kodan/internal/tiling"
 )
 
@@ -177,6 +185,7 @@ func main() {
 	transformApp := flag.Int("transform-app", 0, "after the simulation, transform this Table 1 application (1-7) for the simulated mission (0 = off)")
 	quantized := flag.Bool("quantized", false, "with -transform-app: run the transform's inference through the int8 quantized path")
 	verbose := flag.Bool("v", false, "structured debug logs (slog) to stderr")
+	eventsFile := flag.String("events", "", "write the sim-time mission event journal (JSONL) to this file")
 	traceFile := flag.String("trace", "", "write a JSONL span trace to this file and print a summary to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -254,6 +263,12 @@ func main() {
 		ctx = telemetry.WithProbe(ctx, telemetry.Probe{Trace: tracer})
 	}
 
+	var journal *events.Journal
+	if *eventsFile != "" {
+		journal = events.NewJournal()
+		ctx = events.WithJournal(ctx, journal)
+	}
+
 	res, err := sim.RunCtx(ctx, cfg)
 	if perr := stopProfile(); perr != nil {
 		log.Printf("profiling: %v", perr)
@@ -282,7 +297,7 @@ func main() {
 		res.FrameCapacity(), 100*res.FrameCapacity()/float64(res.FramesObserved()))
 
 	if *plan == "hybrid" {
-		if err := printHybridPlan(res, cfg, *groundCost, *bufferFrames); err != nil {
+		if err := printHybridPlan(ctx, res, cfg, *groundCost, *bufferFrames); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -291,6 +306,16 @@ func main() {
 		if err := printTransform(ctx, res, cfg, *transformApp, *quantized); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	// The journal is flushed after planning so -plan hybrid runs record
+	// the planner dispositions and the deferral-drain replay alongside
+	// the simulation's captures, contacts, grants, and faults.
+	if journal != nil {
+		if werr := events.WriteFile(journal, *eventsFile); werr != nil {
+			log.Fatal(werr)
+		}
+		fmt.Fprintf(os.Stderr, "mission event journal: %d events -> %s\n", journal.Len(), *eventsFile)
 	}
 
 	// The trace is flushed last so a -transform-app run records the
@@ -358,7 +383,7 @@ func printTransform(ctx context.Context, res *sim.Result, cfg sim.Config, appIdx
 // no transformed application — so the Onboard placement coincides with raw
 // immediate downlink and the interesting decision is raw-now versus defer
 // versus drop, slice by slice.
-func printHybridPlan(res *sim.Result, cfg sim.Config, groundCost, bufferFrames float64) error {
+func printHybridPlan(ctx context.Context, res *sim.Result, cfg sim.Config, groundCost, bufferFrames float64) error {
 	const slices = 8
 	prof := policy.TilingProfile{Tiling: tiling.Tiling{PerSide: 1}}
 	base := policy.Selection{Tiling: prof.Tiling}
@@ -376,13 +401,13 @@ func printHybridPlan(res *sim.Result, cfg sim.Config, groundCost, bufferFrames f
 		Costs:        costs,
 		BufferFrames: bufferFrames,
 	}.WithLink(planner.DeriveLink(res))
-	pl, err := planner.Decide(prof, base, env)
+	pl, err := planner.DecideCtx(ctx, prof, base, env)
 	if err != nil {
 		return err
 	}
 	ev := pl.Eval
 	frameBits := cfg.Camera.FrameBits()
-	st := res.DrainDeferred((ev.NowBits+ev.DeferBits)*frameBits, bufferFrames*frameBits)
+	st := res.DrainDeferredCtx(ctx, (ev.NowBits+ev.DeferBits)*frameBits, bufferFrames*frameBits)
 	fmt.Printf("\nhybrid plan (capture stream in %d slices, ground cost %.2f, buffer %.0f frames):\n", slices, groundCost, bufferFrames)
 	fmt.Printf("  placement: downlink-now %.0f%%, defer %.0f%%, drop %.0f%% (utility %.3f)\n",
 		100*(ev.OnboardFrac+ev.DownlinkFrac), 100*ev.DeferFrac, 100*ev.DropFrac, ev.Utility)

@@ -93,7 +93,7 @@ func (l *Lab) HybridPlanSweepCtx(ctx context.Context) ([]HybridPlanRow, error) {
 		if err != nil {
 			return err
 		}
-		block, err := hybridPlanBlock(art, m, res, gcosts)
+		block, err := hybridPlanBlock(ctx, art, m, res, gcosts)
 		if err != nil {
 			return err
 		}
@@ -109,7 +109,7 @@ func (l *Lab) HybridPlanSweepCtx(ctx context.Context) ([]HybridPlanRow, error) {
 // hybridPlanBlock computes one constellation size's rows: the onboard and
 // bent-pipe baselines plus one planner row per ground cost. Everything
 // derives deterministically from the day run and the App 4 artifacts.
-func hybridPlanBlock(art *core.Artifacts, m missionProfile, res *sim.Result,
+func hybridPlanBlock(ctx context.Context, art *core.Artifacts, m missionProfile, res *sim.Result,
 	gcosts []float64) ([]HybridPlanRow, error) {
 	n := res.Config.Satellites
 	observed := float64(res.FramesObserved())
@@ -130,7 +130,7 @@ func hybridPlanBlock(art *core.Artifacts, m missionProfile, res *sim.Result,
 		Sats:       n,
 		Mode:       "onboard",
 		DVD:        est.DVD,
-		LatencyS:   drainLatency(res, est.Ledger.DownlinkedBits*m.FrameBits, 0),
+		LatencyS:   drainLatency(ctx, res, est.Ledger.DownlinkedBits*m.FrameBits, 0),
 		OnboardPct: 100,
 		EnergyJ:    energy,
 	}}
@@ -141,7 +141,7 @@ func hybridPlanBlock(art *core.Artifacts, m missionProfile, res *sim.Result,
 		Sats:        n,
 		Mode:        "bentpipe",
 		DVD:         bent.DVD,
-		LatencyS:    drainLatency(res, m.FrameBits, 0),
+		LatencyS:    drainLatency(ctx, res, m.FrameBits, 0),
 		DownlinkPct: 100,
 	})
 
@@ -161,7 +161,7 @@ func hybridPlanBlock(art *core.Artifacts, m missionProfile, res *sim.Result,
 			Costs:        costs,
 			BufferFrames: planBufferFrames,
 		}.WithLink(li)
-		plan, err := planner.Decide(prof, sel, env)
+		plan, err := planner.DecideCtx(ctx, prof, sel, env)
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +171,7 @@ func hybridPlanBlock(art *core.Artifacts, m missionProfile, res *sim.Result,
 			Mode:        "planner",
 			GroundCost:  g,
 			DVD:         ev.DVD,
-			LatencyS:    drainLatency(res, (ev.NowBits+ev.DeferBits)*m.FrameBits, planBufferFrames*m.FrameBits),
+			LatencyS:    drainLatency(ctx, res, (ev.NowBits+ev.DeferBits)*m.FrameBits, planBufferFrames*m.FrameBits),
 			OnboardPct:  100 * ev.OnboardFrac,
 			DownlinkPct: 100 * ev.DownlinkFrac,
 			DeferPct:    100 * ev.DeferFrac,
@@ -185,8 +185,8 @@ func hybridPlanBlock(art *core.Artifacts, m missionProfile, res *sim.Result,
 
 // drainLatency replays bitsPerFrame of downlink traffic through the run's
 // contact schedule and returns the mean delivery latency in seconds.
-func drainLatency(res *sim.Result, bitsPerFrame, bufferBits float64) float64 {
-	return res.DrainDeferred(bitsPerFrame, bufferBits).MeanLatency.Seconds()
+func drainLatency(ctx context.Context, res *sim.Result, bitsPerFrame, bufferBits float64) float64 {
+	return res.DrainDeferredCtx(ctx, bitsPerFrame, bufferBits).MeanLatency.Seconds()
 }
 
 // HybridPlanWithSchedule plans one (satellite count, ground cost) cell
@@ -214,7 +214,7 @@ func (l *Lab) HybridPlanWithSchedule(ctx context.Context, sats int, groundCost f
 	if err != nil {
 		return HybridPlanRow{}, err
 	}
-	block, err := hybridPlanBlock(art, m, res, []float64{groundCost})
+	block, err := hybridPlanBlock(ctx, art, m, res, []float64{groundCost})
 	if err != nil {
 		return HybridPlanRow{}, err
 	}

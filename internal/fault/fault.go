@@ -140,8 +140,11 @@ func (s *Schedule) Validate() error {
 	return nil
 }
 
-// sortWindows orders windows by (start, kind, station, sat) so generated
-// and round-tripped schedules render identically.
+// sortWindows orders windows by (start, kind, station, sat, end,
+// severity) so generated and round-tripped schedules render identically.
+// The trailing keys make the order total up to full window equality,
+// which keeps consumers that re-derive window lists (the mission event
+// journal) byte-deterministic.
 func sortWindows(ws []Window) {
 	sort.Slice(ws, func(a, b int) bool {
 		if !ws[a].Start.Equal(ws[b].Start) {
@@ -153,7 +156,13 @@ func sortWindows(ws []Window) {
 		if ws[a].Station != ws[b].Station {
 			return ws[a].Station < ws[b].Station
 		}
-		return ws[a].Sat < ws[b].Sat
+		if ws[a].Sat != ws[b].Sat {
+			return ws[a].Sat < ws[b].Sat
+		}
+		if !ws[a].End.Equal(ws[b].End) {
+			return ws[a].End.Before(ws[b].End)
+		}
+		return ws[a].Severity < ws[b].Severity
 	})
 }
 

@@ -50,6 +50,25 @@ func NewInjector(s *Schedule) *Injector {
 // Active reports whether any fault windows are loaded.
 func (inj *Injector) Active() bool { return inj != nil }
 
+// AllWindows returns every loaded fault window in the canonical schedule
+// order (start, kind, station, sat, end, severity). Nil on the no-op
+// injector. Consumers that journal or render fault activity iterate this
+// instead of the internal maps, so their output is deterministic.
+func (inj *Injector) AllWindows() []Window {
+	if inj == nil {
+		return nil
+	}
+	var out []Window
+	for _, ws := range inj.byStation {
+		out = append(out, ws...)
+	}
+	for _, ws := range inj.bySat {
+		out = append(out, ws...)
+	}
+	sortWindows(out)
+	return out
+}
+
 // StationDown reports whether the named station is inside an outage at t.
 func (inj *Injector) StationDown(station string, t time.Time) bool {
 	if inj == nil {

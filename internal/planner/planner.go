@@ -33,6 +33,7 @@
 package planner
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -40,6 +41,7 @@ import (
 	"kodan/internal/policy"
 	"kodan/internal/power"
 	"kodan/internal/sim"
+	"kodan/internal/telemetry/events"
 	"kodan/internal/tiling"
 )
 
@@ -386,10 +388,22 @@ func betterEval(a, b Eval) bool {
 const maxExhaustive = 65536
 
 // Decide searches the per-context placements for one tiling profile and
-// base selection. The base supplies each context's on-board action; the
-// returned plan maximizes utility over all feasible placements, falling
-// back to all-Drop when nothing else fits the constraints.
+// base selection with background context. See DecideCtx.
 func Decide(prof policy.TilingProfile, base policy.Selection, env Env) (Plan, error) {
+	return DecideCtx(context.Background(), prof, base, env)
+}
+
+// DecideCtx searches the per-context placements for one tiling profile
+// and base selection. The base supplies each context's on-board action;
+// the returned plan maximizes utility over all feasible placements,
+// falling back to all-Drop when nothing else fits the constraints.
+//
+// When ctx carries a mission event journal, the chosen plan is journaled
+// as one planner_disposition event per context ("C<i>-><placement>",
+// Value = the context's tile fraction). Planning happens before mission
+// time, so the events carry SimNs 0; journaling never influences the
+// search.
+func DecideCtx(ctx context.Context, prof policy.TilingProfile, base policy.Selection, env Env) (Plan, error) {
 	if err := env.Validate(); err != nil {
 		return Plan{}, err
 	}
@@ -446,6 +460,15 @@ func Decide(prof policy.TilingProfile, base policy.Selection, env Env) (Plan, er
 	for c, d := range best {
 		actions[c] = d.action(base.Actions[c])
 	}
+	if j := events.JournalFrom(ctx); j.Active() {
+		for c, d := range best {
+			j.Emit(events.Event{
+				Type: events.PlannerDisposition, Sat: -1,
+				Detail: fmt.Sprintf("C%d->%s", c, d),
+				Value:  prof.Contexts[c].TileFrac,
+			})
+		}
+	}
 	return Plan{
 		Tiling:       prof.Tiling,
 		Base:         base,
@@ -490,10 +513,17 @@ func hillClimb(opts [][]option, prof policy.TilingProfile, env Env) ([]Dispositi
 	return cur, ev, true
 }
 
-// Build generates the full hybrid plan for a transformed application: the
-// selection-logic optimizer fixes the tiling and on-board actions, then
-// Decide places each context.
+// Build generates the full hybrid plan for a transformed application with
+// background context. See BuildCtx.
 func Build(profiles []policy.TilingProfile, env Env) (Plan, error) {
+	return BuildCtx(context.Background(), profiles, env)
+}
+
+// BuildCtx generates the full hybrid plan for a transformed application:
+// the selection-logic optimizer fixes the tiling and on-board actions,
+// then DecideCtx places each context (journaling the chosen plan when ctx
+// carries a mission event journal).
+func BuildCtx(ctx context.Context, profiles []policy.TilingProfile, env Env) (Plan, error) {
 	if err := env.Validate(); err != nil {
 		return Plan{}, err
 	}
@@ -503,7 +533,7 @@ func Build(profiles []policy.TilingProfile, env Env) (Plan, error) {
 	base, _ := policy.Optimize(profiles, env.Policy)
 	for _, prof := range profiles {
 		if prof.Tiling == base.Tiling {
-			return Decide(prof, base, env)
+			return DecideCtx(ctx, prof, base, env)
 		}
 	}
 	return Plan{}, fmt.Errorf("planner: no profile for tiling %v", base.Tiling)

@@ -1,6 +1,12 @@
 package sim
 
-import "time"
+import (
+	"context"
+	"time"
+
+	"kodan/internal/telemetry"
+	"kodan/internal/telemetry/events"
+)
 
 // DrainStats summarizes a store-and-forward drain of deferred bits
 // through the constellation's granted contact schedule (DrainDeferred).
@@ -23,7 +29,14 @@ type DrainStats struct {
 }
 
 // DrainDeferred replays the capture schedule against the granted contact
-// windows as a store-and-forward queue: every capture enqueues
+// windows as a store-and-forward queue with background context. See
+// DrainDeferredCtx.
+func (r *Result) DrainDeferred(bitsPerFrame, bufferBits float64) DrainStats {
+	return r.DrainDeferredCtx(context.Background(), bitsPerFrame, bufferBits)
+}
+
+// DrainDeferredCtx replays the capture schedule against the granted
+// contact windows as a store-and-forward queue: every capture enqueues
 // bitsPerFrame of deferred backlog on its satellite, and each satellite
 // drains its queue FIFO at the radio's nominal rate whenever it holds a
 // grant. bufferBits caps the per-satellite backlog (tail-drop: the
@@ -39,11 +52,24 @@ type DrainStats struct {
 // transmitting. Link-fade derates are not replayed here; faulted runs
 // already expose their capacity loss through DownlinkBits/FrameCapacity,
 // which is what planning consumes.
-func (r *Result) DrainDeferred(bitsPerFrame, bufferBits float64) DrainStats {
+//
+// When ctx carries a mission event journal, the replay is journaled in
+// sim time: one defer_enqueue per admitted frame, one defer_overflow per
+// tail-drop, one defer_drain per fully delivered chunk (Value = latency
+// seconds), and one buffer_highwater per satellite at the instant its
+// peak occupancy was set. When ctx carries a telemetry probe, the replay
+// publishes sim.drain.delivered_bits / dropped_bits / residual_bits
+// counters, a sim.drain.peak_buffer_bits gauge, and a
+// sim.drain.delivery_latency_seconds histogram. Neither changes the
+// returned stats.
+func (r *Result) DrainDeferredCtx(ctx context.Context, bitsPerFrame, bufferBits float64) DrainStats {
 	var s DrainStats
 	if bitsPerFrame <= 0 || r.Config.Radio.RateBps <= 0 {
 		return s
 	}
+	j := events.JournalFrom(ctx)
+	scope := telemetry.ProbeFrom(ctx).Metrics.Scope("sim.drain")
+	latencyHist := scope.Histogram("delivery_latency_seconds")
 	rate := r.Config.Radio.RateBps
 	epoch := r.Config.Epoch
 	spanEnd := r.Config.Span.Seconds()
@@ -61,25 +87,44 @@ func (r *Result) DrainDeferred(bitsPerFrame, bufferBits float64) DrainStats {
 
 	var latBitSeconds float64
 	for sat, caps := range r.Captures {
+		sat := sat
 		type chunk struct{ t, bits float64 }
 		var queue []chunk
 		qi := 0
 		backlog := 0.0
 		ci := 0
+		satPeak, satPeakT := 0.0, 0.0
 		// admit enqueues every capture up to now, applying the buffer cap.
 		admit := func(now float64) {
 			for ci < len(caps) && sec(caps[ci].Time) <= now {
 				t := sec(caps[ci].Time)
 				incoming := bitsPerFrame
 				if bufferBits > 0 && backlog+incoming > bufferBits {
-					s.DroppedBits += backlog + incoming - bufferBits
+					dropped := backlog + incoming - bufferBits
+					s.DroppedBits += dropped
 					incoming = bufferBits - backlog
+					if j.Active() {
+						j.Emit(events.Event{
+							SimNs: simNs(epoch, t), Type: events.DeferOverflow,
+							Sat: sat, Value: dropped,
+						})
+					}
 				}
 				if incoming > 0 {
 					queue = append(queue, chunk{t: t, bits: incoming})
 					backlog += incoming
 					if backlog > s.PeakBufferBits {
 						s.PeakBufferBits = backlog
+					}
+					if backlog > satPeak {
+						satPeak = backlog
+						satPeakT = t
+					}
+					if j.Active() {
+						j.Emit(events.Event{
+							SimNs: simNs(epoch, t), Type: events.DeferEnqueue,
+							Sat: sat, Value: incoming,
+						})
 					}
 				}
 				ci++
@@ -122,6 +167,13 @@ func (r *Result) DrainDeferred(bitsPerFrame, bufferBits float64) DrainStats {
 						if l := time.Duration(lat * float64(time.Second)); l > s.MaxLatency {
 							s.MaxLatency = l
 						}
+						latencyHist.Observe(lat)
+						if j.Active() {
+							j.Emit(events.Event{
+								SimNs: simNs(epoch, t), Type: events.DeferDrain,
+								Sat: sat, Value: lat,
+							})
+						}
 					}
 				}
 				admit(t)
@@ -131,9 +183,19 @@ func (r *Result) DrainDeferred(bitsPerFrame, bufferBits float64) DrainStats {
 		// the buffer before the span ends.
 		admit(spanEnd)
 		s.ResidualBits += backlog
+		if j.Active() && satPeak > 0 {
+			j.Emit(events.Event{
+				SimNs: simNs(epoch, satPeakT), Type: events.BufferHighWater,
+				Sat: sat, Value: satPeak,
+			})
+		}
 	}
 	if s.DeliveredBits > 0 {
 		s.MeanLatency = time.Duration(latBitSeconds / s.DeliveredBits * float64(time.Second))
 	}
+	scope.Counter("delivered_bits").Add(int64(s.DeliveredBits))
+	scope.Counter("dropped_bits").Add(int64(s.DroppedBits))
+	scope.Counter("residual_bits").Add(int64(s.ResidualBits))
+	scope.Gauge("peak_buffer_bits").Set(int64(s.PeakBufferBits))
 	return s
 }

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"context"
+	"time"
+
+	"kodan/internal/fault"
+	"kodan/internal/station"
+	"kodan/internal/telemetry"
+	"kodan/internal/telemetry/events"
+)
+
+// journalMission writes the finished run into the context's mission event
+// journal: captures and scene boundaries per satellite, contact windows
+// per (station, satellite) pair, contention-resolved downlink grants, and
+// the fault windows that shaped the run. It runs sequentially over the
+// completed Result after the parallel phases, so the journal — like the
+// result — is a pure function of the configuration, independent of worker
+// count; a nil journal makes the whole call a no-op.
+//
+// When a telemetry probe is attached alongside, per-type event counts are
+// published as sim.events.<type> counters.
+func journalMission(ctx context.Context, cfg Config, res *Result, windows [][][]station.Window) {
+	j := events.JournalFrom(ctx)
+	if !j.Active() {
+		return
+	}
+	runEnd := cfg.Epoch.Add(cfg.Span)
+	counts := make(map[events.Type]int, len(events.Types))
+	emit := func(e events.Event) {
+		j.Emit(e)
+		counts[e.Type]++
+	}
+
+	for sat, caps := range res.Captures {
+		lastPath := -1
+		for _, c := range caps {
+			emit(events.Event{
+				SimNs: c.Time.UnixNano(), Type: events.Capture,
+				Sat: sat, Detail: c.Scene.String(),
+			})
+			if c.Scene.Path != lastPath {
+				if lastPath >= 0 {
+					emit(events.Event{
+						SimNs: c.Time.UnixNano(), Type: events.SceneBoundary,
+						Sat: sat, Detail: c.Scene.String(), Value: float64(c.Scene.Path),
+					})
+				}
+				lastPath = c.Scene.Path
+			}
+		}
+	}
+
+	for si := range windows {
+		name := cfg.Stations[si].Name
+		for sat, ws := range windows[si] {
+			for _, w := range ws {
+				emit(events.Event{
+					SimNs: w.Start.UnixNano(), Type: events.ContactStart,
+					Sat: sat, Station: name,
+				})
+				emit(events.Event{
+					SimNs: w.End.UnixNano(), Type: events.ContactEnd,
+					Sat: sat, Station: name, Value: w.End.Sub(w.Start).Seconds(),
+				})
+			}
+		}
+	}
+
+	for _, g := range res.Grants {
+		emit(events.Event{
+			SimNs: g.Start.UnixNano(), Type: events.DownlinkGrant,
+			Sat: g.Sat, Station: cfg.Stations[g.Station].Name, Value: g.Dur.Seconds(),
+		})
+	}
+
+	// Fault windows, clamped to the simulated interval: hand-written
+	// schedules may spill past it, and the journal describes this run.
+	for _, w := range fault.InjectorFrom(ctx).AllWindows() {
+		start, end := w.Start, w.End
+		if start.Before(cfg.Epoch) {
+			start = cfg.Epoch
+		}
+		if end.After(runEnd) {
+			end = runEnd
+		}
+		if !end.After(start) {
+			continue
+		}
+		sat := -1
+		switch w.Kind {
+		case fault.ComputeThrottle, fault.SensorDropout, fault.SatelliteReset:
+			sat = w.Sat
+		}
+		emit(events.Event{
+			SimNs: start.UnixNano(), Type: events.FaultEnter,
+			Sat: sat, Station: w.Station, Detail: string(w.Kind), Value: w.Severity,
+		})
+		emit(events.Event{
+			SimNs: end.UnixNano(), Type: events.FaultExit,
+			Sat: sat, Station: w.Station, Detail: string(w.Kind), Value: w.Severity,
+		})
+	}
+
+	scope := telemetry.ProbeFrom(ctx).Metrics.Scope("sim.events")
+	for _, t := range events.Types {
+		if n := counts[t]; n > 0 {
+			scope.Counter(string(t)).Add(int64(n))
+		}
+	}
+}
+
+// simNs converts seconds-from-epoch (the drain replay's clock) to the
+// journal's Unix-nanosecond stamp.
+func simNs(epoch time.Time, sec float64) int64 {
+	return epoch.Add(time.Duration(sec * float64(time.Second))).UnixNano()
+}

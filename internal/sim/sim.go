@@ -146,8 +146,12 @@ func Run(cfg Config) (*Result, error) {
 // time stamped with the simulated interval) with per-satellite capture
 // spans, per-(station, satellite) contact-window spans, and a downlink-
 // allocation span underneath, plus frame/window/grant counters in the
-// "sim" scope. Telemetry never influences the simulation: results remain
-// byte-identical with tracing on or off and at every worker count.
+// "sim" scope. When ctx carries a mission event journal
+// (events.WithJournal), the finished run is journaled in sim time —
+// captures, scene boundaries, contacts, grants, fault windows — and
+// per-type counts are published as sim.events.* counters. Neither probe
+// influences the simulation: results remain byte-identical with tracing
+// and journaling on or off and at every worker count.
 func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -303,6 +307,10 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if observed > 0 {
 		scope.Histogram("downlink_utilization").Observe(res.FrameCapacity() / float64(observed))
 	}
+	// Mission event journal: written sequentially from the finished result
+	// (and the contact windows the allocation consumed), so the journal is
+	// byte-identical at every worker count and never influences the run.
+	journalMission(ctx, cfg, res, windows)
 	logger.Debug("sim finished",
 		"frames", observed, "grants", len(res.Grants),
 		"wallMs", time.Since(logStart).Milliseconds())

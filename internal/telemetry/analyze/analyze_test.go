@@ -317,6 +317,44 @@ func TestFolded(t *testing.T) {
 	}
 }
 
+// TestFoldedSanitizesFrames pins the separator handling: a ";" in a span
+// name would split one frame into two, and a " " would terminate the
+// stack before the value — both must be replaced, not emitted.
+func TestFoldedSanitizesFrames(t *testing.T) {
+	events := []telemetry.Event{
+		bev(1, 0, "load data; phase one", 0),
+		bev(2, 1, "inner step", 10),
+		eev(2, 30, nil),
+		eev(1, 100, nil),
+	}
+	trace, err := Build(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := trace.Folded()
+	want := []string{
+		"load_data__phase_one 80000",
+		"load_data__phase_one;inner_step 20000",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("folded = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("folded[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Every emitted line must have exactly one space (the value
+	// separator) and frames free of the ";" separator except between
+	// frames — i.e. the line splits into stack and integer value.
+	for _, line := range got {
+		parts := strings.Split(line, " ")
+		if len(parts) != 2 {
+			t.Fatalf("line %q has %d space-separated fields, want 2", line, len(parts))
+		}
+	}
+}
+
 // TestCompare pins the diff: rows by |delta|, signed attribution shares,
 // attribute-change labels, request-ID excluded.
 func TestCompare(t *testing.T) {

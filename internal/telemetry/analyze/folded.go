@@ -16,11 +16,17 @@ import (
 // output byte-deterministic for a given trace. Stacks whose self time
 // rounds to zero microseconds are kept (value 0) so the shape of the
 // trace survives even for fast phases.
+//
+// Frame names are sanitized before injection: ";" is the format's frame
+// separator and " " terminates the stack, so either character inside a
+// span name would corrupt the line (splitting one frame into two, or
+// truncating the stack at the value boundary). Both are replaced with
+// "_", matching flamegraph.pl's own cleanup convention.
 func (t *Trace) Folded() []string {
 	agg := make(map[string]int64)
 	var visit func(sp *Span, prefix string)
 	visit = func(sp *Span, prefix string) {
-		stack := prefix + sp.Name
+		stack := prefix + foldFrame(sp.Name)
 		agg[stack] += int64(sp.Self())
 		for _, c := range sp.Children {
 			visit(c, stack+";")
@@ -39,6 +45,17 @@ func (t *Trace) Folded() []string {
 		lines[i] = fmt.Sprintf("%s %d", s, agg[s]/1000)
 	}
 	return lines
+}
+
+// foldFrame makes a span name safe to use as a folded-stack frame.
+func foldFrame(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ';', ' ':
+			return '_'
+		}
+		return r
+	}, name)
 }
 
 // WriteFolded writes the folded stacks, one per line. An empty trace

@@ -1,0 +1,247 @@
+package events
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Anomaly rule names, in report order.
+const (
+	RuleBufferSaturation  = "buffer-saturation"
+	RuleCaptureGap        = "capture-gap"
+	RuleContactStarvation = "contact-starvation"
+	RuleFaultThroughput   = "fault-throughput"
+)
+
+// Thresholds tunes the anomaly rules. The zero value is unusable; start
+// from DefaultThresholds.
+type Thresholds struct {
+	// StarvationGapFrac flags a satellite whose longest grant-free stretch
+	// exceeds this fraction of the journal's extent (or that received no
+	// grants at all).
+	StarvationGapFrac float64
+	// CaptureGapFactor and CaptureGapMin together flag a satellite whose
+	// longest inter-capture gap exceeds both CaptureGapFactor times its
+	// median gap and the CaptureGapMin floor.
+	CaptureGapFactor float64
+	CaptureGapMin    time.Duration
+	// CorrelationFrac flags a satellite (or station) whose capture (grant)
+	// rate inside its fault windows drops below this fraction of the rate
+	// outside them.
+	CorrelationFrac float64
+	// MinFaultDur is the least total fault time worth correlating; shorter
+	// exposure is noise.
+	MinFaultDur time.Duration
+}
+
+// DefaultThresholds are tuned so a clean multi-hour reference run is
+// quiet while seeded fault schedules trip at least one rule.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		StarvationGapFrac: 0.6,
+		CaptureGapFactor:  4,
+		CaptureGapMin:     10 * time.Minute,
+		CorrelationFrac:   0.5,
+		MinFaultDur:       5 * time.Minute,
+	}
+}
+
+// Anomaly is one rule finding.
+type Anomaly struct {
+	// Rule names the rule that fired (Rule* constants).
+	Rule string
+	// Sat is the satellite concerned, or -1 for station findings.
+	Sat int
+	// Station is set for station findings.
+	Station string
+	// Detail explains the finding.
+	Detail string
+}
+
+// Subject renders the finding's scope.
+func (a Anomaly) Subject() string {
+	if a.Station != "" {
+		return "stn " + a.Station
+	}
+	return fmt.Sprintf("sat %d", a.Sat)
+}
+
+// DetectAnomalies runs the rule engine over a journal and returns the
+// findings in deterministic (rule, scope) order. The four rules cover the
+// failure shapes the fault injector produces: contact starvation,
+// deferral-buffer saturation, capture gaps, and fault-window/throughput
+// correlation.
+func DetectAnomalies(evs []Event, th Thresholds) []Anomaly {
+	v := buildView(evs)
+	var out []Anomaly
+	if v.first == 0 && v.last == 0 {
+		return out
+	}
+	span := time.Duration(v.span())
+
+	// Rule: deferral-buffer saturation. Any tail-dropped bits mean the
+	// on-board buffer was sized below what the contact schedule required.
+	for _, sat := range v.sats {
+		if n := len(v.satOverflow[sat]); n > 0 {
+			out = append(out, Anomaly{
+				Rule: RuleBufferSaturation, Sat: sat,
+				Detail: fmt.Sprintf("%d overflow event(s), %.3g Mbit tail-dropped at the buffer cap",
+					n, v.overflowBits[sat]/1e6),
+			})
+		}
+	}
+
+	// Rule: capture gaps. A satellite that images steadily and then goes
+	// dark for far longer than its own cadence lost sensor time.
+	for _, sat := range v.sats {
+		caps := v.satCaptures[sat]
+		if len(caps) < 8 {
+			continue
+		}
+		gaps := make([]time.Duration, 0, len(caps)-1)
+		var maxGap time.Duration
+		var maxAt int64
+		for i := 1; i < len(caps); i++ {
+			g := time.Duration(caps[i] - caps[i-1])
+			gaps = append(gaps, g)
+			if g > maxGap {
+				maxGap = g
+				maxAt = caps[i-1]
+			}
+		}
+		sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+		median := gaps[len(gaps)/2]
+		if maxGap > time.Duration(th.CaptureGapFactor*float64(median)) && maxGap > th.CaptureGapMin {
+			out = append(out, Anomaly{
+				Rule: RuleCaptureGap, Sat: sat,
+				Detail: fmt.Sprintf("max inter-capture gap %v (median %v) starting %s",
+					maxGap.Round(time.Second), median.Round(time.Second),
+					time.Unix(0, maxAt).UTC().Format(time.RFC3339)),
+			})
+		}
+	}
+
+	// Rule: contact starvation. A satellite that captures but never gets
+	// station time — or goes without it for most of the mission — cannot
+	// deliver.
+	for _, sat := range v.sats {
+		if len(v.satCaptures[sat]) == 0 {
+			continue // never imaged; nothing to starve
+		}
+		grants := mergeIntervals(v.satGrants[sat])
+		if len(grants) == 0 {
+			out = append(out, Anomaly{
+				Rule: RuleContactStarvation, Sat: sat,
+				Detail: fmt.Sprintf("no downlink grants over the whole journal (%v)",
+					span.Round(time.Second)),
+			})
+			continue
+		}
+		var maxGap time.Duration
+		var maxAt int64
+		prev := v.first
+		for _, g := range grants {
+			if gap := time.Duration(g.lo - prev); gap > maxGap {
+				maxGap = gap
+				maxAt = prev
+			}
+			if g.hi > prev {
+				prev = g.hi
+			}
+		}
+		if gap := time.Duration(v.last - prev); gap > maxGap {
+			maxGap = gap
+			maxAt = prev
+		}
+		if maxGap > time.Duration(th.StarvationGapFrac*float64(span)) {
+			out = append(out, Anomaly{
+				Rule: RuleContactStarvation, Sat: sat,
+				Detail: fmt.Sprintf("longest grant-free stretch %v is %.0f%% of the journal, starting %s",
+					maxGap.Round(time.Second), 100*float64(maxGap)/float64(span),
+					time.Unix(0, maxAt).UTC().Format(time.RFC3339)),
+			})
+		}
+	}
+
+	// Rule: fault/throughput correlation, satellite side. Compare the
+	// capture rate inside capture-killing fault windows (sensor dropouts,
+	// satellite resets) against the rate outside them.
+	for _, sat := range v.sats {
+		faults := v.faultIntervals(sat, "sensor_dropout", "satellite_reset")
+		in := overlap(faults, v.first, v.last)
+		outDur := span - in
+		if in < th.MinFaultDur || outDur <= 0 {
+			continue
+		}
+		caps := v.satCaptures[sat]
+		nIn := pointsInside(caps, faults)
+		nOut := len(caps) - nIn
+		inRate := float64(nIn) / in.Hours()
+		outRate := float64(nOut) / outDur.Hours()
+		if outRate > 0 && inRate < th.CorrelationFrac*outRate {
+			out = append(out, Anomaly{
+				Rule: RuleFaultThroughput, Sat: sat,
+				Detail: fmt.Sprintf("capture rate %.1f/h inside %v of sensor/reset fault windows vs %.1f/h outside",
+					inRate, in.Round(time.Second), outRate),
+			})
+		}
+	}
+
+	// Rule: fault/throughput correlation, station side. Compare granted
+	// seconds per hour inside outage windows against outside.
+	for _, stn := range v.stations {
+		outages := mergeIntervals(v.stnFaults[stn]["station_outage"])
+		in := overlap(outages, v.first, v.last)
+		outDur := span - in
+		if in < th.MinFaultDur || outDur <= 0 {
+			continue
+		}
+		grants := mergeIntervals(v.stnGrants[stn])
+		var grantIn time.Duration
+		for _, o := range outages {
+			grantIn += overlap(grants, o.lo, o.hi)
+		}
+		grantOut := totalDur(grants) - grantIn
+		inRate := grantIn.Seconds() / in.Hours()
+		outRate := grantOut.Seconds() / outDur.Hours()
+		if outRate > 0 && inRate < th.CorrelationFrac*outRate {
+			out = append(out, Anomaly{
+				Rule: RuleFaultThroughput, Sat: -1, Station: stn,
+				Detail: fmt.Sprintf("grant time %.0f s/h inside %v of outage windows vs %.0f s/h outside",
+					inRate, in.Round(time.Second), outRate),
+			})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Station != b.Station {
+			return a.Station < b.Station
+		}
+		if a.Sat != b.Sat {
+			return a.Sat < b.Sat
+		}
+		return a.Detail < b.Detail
+	})
+	return out
+}
+
+// RenderAnomalies formats findings, one per line. Output is
+// byte-deterministic for a given finding set.
+func RenderAnomalies(as []Anomaly) string {
+	var b strings.Builder
+	if len(as) == 0 {
+		b.WriteString("anomalies: none\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "anomalies: %d finding(s)\n", len(as))
+	for _, a := range as {
+		fmt.Fprintf(&b, "[%-19s] %-8s %s\n", a.Rule, a.Subject(), a.Detail)
+	}
+	return b.String()
+}

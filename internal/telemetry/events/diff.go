@@ -1,0 +1,158 @@
+package events
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// DiffRow is one (type, scope) cell's contribution to the difference
+// between two journals.
+type DiffRow struct {
+	// Type is the event type the row tallies.
+	Type Type
+	// Sat is the satellite scope, or -1 for station/global scope.
+	Sat int
+	// Station is set for station-scoped cells.
+	Station string
+	// CountA and CountB are each journal's event count for the cell.
+	CountA int
+	CountB int
+	// Delta is CountB - CountA.
+	Delta int
+	// AttrPct is this cell's share of the net event-count change,
+	// 100·Delta/(totalB−totalA). Shares are signed: a cell moving against
+	// the net direction gets a negative share. Zero when totals are equal.
+	AttrPct float64
+	// SecsA and SecsB sum the cell's Value seconds for duration-carrying
+	// types (contact windows, downlink grants), so the row also shows the
+	// sim-time swing, not just the count swing.
+	SecsA float64
+	SecsB float64
+}
+
+// JournalDiff is the deterministic comparison of two journals.
+type JournalDiff struct {
+	// Rows has one entry per (type, scope) cell present in either journal,
+	// ordered by |Delta| descending (type then scope break ties).
+	Rows []DiffRow
+	// EventsA and EventsB count each journal's events.
+	EventsA int
+	EventsB int
+	// SpanA and SpanB are each journal's mission-time extent.
+	SpanA time.Duration
+	SpanB time.Duration
+}
+
+// Net is the overall event-count change, EventsB - EventsA.
+func (d JournalDiff) Net() int { return d.EventsB - d.EventsA }
+
+// CompareJournals diffs two journals cell by cell, where a cell is one
+// event type on one satellite or station. Output depends only on the two
+// event sets; the same pair always produces the same diff.
+func CompareJournals(a, b []Event) JournalDiff {
+	type key struct {
+		typ     Type
+		sat     int
+		station string
+	}
+	type side struct {
+		count int
+		secs  float64
+	}
+	cells := make(map[key]*[2]side)
+	tally := func(evs []Event, idx int) {
+		for _, e := range evs {
+			k := key{e.Type, e.Sat, e.Station}
+			c, ok := cells[k]
+			if !ok {
+				c = &[2]side{}
+				cells[k] = c
+			}
+			c[idx].count++
+			switch e.Type {
+			case ContactEnd, DownlinkGrant:
+				c[idx].secs += e.Value
+			}
+		}
+	}
+	tally(a, 0)
+	tally(b, 1)
+	d := JournalDiff{
+		EventsA: len(a),
+		EventsB: len(b),
+		SpanA:   Summarize(a).Span(),
+		SpanB:   Summarize(b).Span(),
+	}
+	net := d.Net()
+	for k, c := range cells {
+		row := DiffRow{
+			Type: k.typ, Sat: k.sat, Station: k.station,
+			CountA: c[0].count, CountB: c[1].count,
+			Delta: c[1].count - c[0].count,
+			SecsA: c[0].secs, SecsB: c[1].secs,
+		}
+		if net != 0 {
+			row.AttrPct = 100 * float64(row.Delta) / float64(net)
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	sort.Slice(d.Rows, func(i, j int) bool {
+		di, dj := d.Rows[i].Delta, d.Rows[j].Delta
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		if di != dj {
+			return di > dj
+		}
+		ri, rj := d.Rows[i], d.Rows[j]
+		if ri.Type != rj.Type {
+			return ri.Type < rj.Type
+		}
+		if ri.Sat != rj.Sat {
+			return ri.Sat < rj.Sat
+		}
+		return ri.Station < rj.Station
+	})
+	return d
+}
+
+// scope renders the row's satellite/station scope.
+func (r DiffRow) scope() string {
+	switch {
+	case r.Sat >= 0 && r.Station != "":
+		return fmt.Sprintf("sat %d @ %s", r.Sat, r.Station)
+	case r.Station != "":
+		return "stn " + r.Station
+	case r.Sat >= 0:
+		return fmt.Sprintf("sat %d", r.Sat)
+	}
+	return "(global)"
+}
+
+// Render formats the diff as the per-cell delta table, attributing the
+// net event-count change. Deterministic for a given pair of journals.
+func (d JournalDiff) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "journal diff: events A %d, B %d, net %+d\n", d.EventsA, d.EventsB, d.Net())
+	fmt.Fprintf(&b, "mission span: A %v, B %v\n",
+		d.SpanA.Round(time.Second), d.SpanB.Round(time.Second))
+	if len(d.Rows) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-20s %-22s %6s %6s %6s %8s %11s %11s\n",
+		"type", "scope", "nA", "nB", "delta", "attr%", "secsA", "secsB")
+	for _, r := range d.Rows {
+		secs := fmt.Sprintf("%11s %11s", "-", "-")
+		if r.Type == ContactEnd || r.Type == DownlinkGrant {
+			secs = fmt.Sprintf("%11.1f %11.1f", r.SecsA, r.SecsB)
+		}
+		fmt.Fprintf(&b, "%-20s %-22s %6d %6d %+6d %7.1f%% %s\n",
+			r.Type, r.scope(), r.CountA, r.CountB, r.Delta, r.AttrPct, secs)
+	}
+	return b.String()
+}

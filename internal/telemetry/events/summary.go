@@ -1,0 +1,140 @@
+package events
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SatStat is one satellite's event tally.
+type SatStat struct {
+	Sat       int
+	Captures  int
+	Passes    int // scene-boundary crossings (fresh orbit passes)
+	Contacts  int // contact windows opened
+	Grants    int
+	GrantSecs float64
+	Faults    int // fault_enter events scoped to this satellite
+	Enqueued  int
+	Drained   int
+	Overflows int
+}
+
+// Stats is the per-journal digest Summarize computes.
+type Stats struct {
+	// Events is the journal length.
+	Events int
+	// ByType tallies every known type (absent ones are zero).
+	ByType map[Type]int
+	// Sats lists per-satellite tallies in satellite order.
+	Sats []SatStat
+	// Stations lists the ground stations seen, sorted.
+	Stations []string
+	// First and Last bound the journal's mission-time extent, ignoring
+	// the sim-timeless planning events. Zero when no timed events exist.
+	First, Last time.Time
+}
+
+// Span is the journal's mission-time extent.
+func (s Stats) Span() time.Duration {
+	if s.First.IsZero() {
+		return 0
+	}
+	return s.Last.Sub(s.First)
+}
+
+// Summarize digests a journal. Input order does not matter; the result is
+// a pure function of the event set.
+func Summarize(evs []Event) Stats {
+	st := Stats{Events: len(evs), ByType: make(map[Type]int, len(Types))}
+	for _, t := range Types {
+		st.ByType[t] = 0
+	}
+	bySat := make(map[int]*SatStat)
+	stations := make(map[string]bool)
+	sat := func(i int) *SatStat {
+		ss, ok := bySat[i]
+		if !ok {
+			ss = &SatStat{Sat: i}
+			bySat[i] = ss
+		}
+		return ss
+	}
+	for _, e := range evs {
+		st.ByType[e.Type]++
+		if e.Station != "" {
+			stations[e.Station] = true
+		}
+		if e.SimNs > 0 {
+			t := e.Sim()
+			if st.First.IsZero() || t.Before(st.First) {
+				st.First = t
+			}
+			if t.After(st.Last) {
+				st.Last = t
+			}
+		}
+		switch e.Type {
+		case Capture:
+			sat(e.Sat).Captures++
+		case SceneBoundary:
+			sat(e.Sat).Passes++
+		case ContactStart:
+			sat(e.Sat).Contacts++
+		case DownlinkGrant:
+			ss := sat(e.Sat)
+			ss.Grants++
+			ss.GrantSecs += e.Value
+		case FaultEnter:
+			if e.Sat >= 0 {
+				sat(e.Sat).Faults++
+			}
+		case DeferEnqueue:
+			sat(e.Sat).Enqueued++
+		case DeferDrain:
+			sat(e.Sat).Drained++
+		case DeferOverflow:
+			sat(e.Sat).Overflows++
+		}
+	}
+	for i := range bySat {
+		st.Sats = append(st.Sats, *bySat[i])
+	}
+	sort.Slice(st.Sats, func(i, j int) bool { return st.Sats[i].Sat < st.Sats[j].Sat })
+	for name := range stations {
+		st.Stations = append(st.Stations, name)
+	}
+	sort.Strings(st.Stations)
+	return st
+}
+
+// Render formats the digest: journal extent, per-type counts in fixed
+// order (zero types omitted), and the per-satellite table. Output is
+// byte-deterministic for a given event set.
+func (s Stats) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "journal: %d events, %d satellites, %d stations\n",
+		s.Events, len(s.Sats), len(s.Stations))
+	if !s.First.IsZero() {
+		fmt.Fprintf(&b, "mission time: %s .. %s (%v)\n",
+			s.First.UTC().Format(time.RFC3339), s.Last.UTC().Format(time.RFC3339),
+			s.Span().Round(time.Second))
+	}
+	for _, t := range Types {
+		if n := s.ByType[t]; n > 0 {
+			fmt.Fprintf(&b, "  %-20s %7d\n", t, n)
+		}
+	}
+	if len(s.Sats) > 0 {
+		fmt.Fprintf(&b, "%4s %9s %7s %9s %7s %11s %7s %9s %8s %10s\n",
+			"sat", "captures", "passes", "contacts", "grants", "grant-time", "faults", "enqueued", "drained", "overflows")
+		for _, ss := range s.Sats {
+			fmt.Fprintf(&b, "%4d %9d %7d %9d %7d %11v %7d %9d %8d %10d\n",
+				ss.Sat, ss.Captures, ss.Passes, ss.Contacts, ss.Grants,
+				time.Duration(ss.GrantSecs*float64(time.Second)).Round(time.Second),
+				ss.Faults, ss.Enqueued, ss.Drained, ss.Overflows)
+		}
+	}
+	return b.String()
+}

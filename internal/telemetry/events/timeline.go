@@ -1,0 +1,143 @@
+package events
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// DefaultTimelineWidth is the column count RenderTimeline uses when the
+// caller passes a non-positive width.
+const DefaultTimelineWidth = 72
+
+// RenderTimeline formats the journal as a deterministic ASCII mission
+// timeline: one row per satellite and one per ground station, each width
+// columns wide across the journal's mission-time extent. Satellite rows
+// layer capture activity, contact windows, downlink grants, a fault
+// overlay, and deferral-buffer overflows; station rows show grants with
+// an outage/fade overlay. Planning events (SimNs 0) carry no mission time
+// and are skipped. Output is byte-deterministic for a given event set.
+func RenderTimeline(evs []Event, width int) string {
+	if width <= 0 {
+		width = DefaultTimelineWidth
+	}
+	if width < 8 {
+		width = 8
+	}
+	v := buildView(evs)
+	if v.first == 0 && v.last == 0 {
+		return "timeline: no mission-timed events\n"
+	}
+	span := v.span()
+	col := func(ns int64) int {
+		c := int(float64(ns-v.first) / float64(span) * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	mark := func(flags []bool, ivs []interval) {
+		for _, iv := range ivs {
+			lo, hi := col(iv.lo), col(iv.hi)
+			for c := lo; c <= hi && c < len(flags); c++ {
+				flags[c] = true
+			}
+		}
+	}
+	markPoints := func(flags []bool, pts []int64) {
+		for _, t := range pts {
+			flags[col(t)] = true
+		}
+	}
+	// overlay maps a base glyph to its fault-shadowed form.
+	overlay := map[byte]byte{'.': '~', 'c': 'f', 'o': 'x', 'G': '#'}
+
+	var b strings.Builder
+	perCol := time.Duration(span / int64(width))
+	fmt.Fprintf(&b, "mission timeline: %s .. %s (%v), %d cols x %v\n",
+		time.Unix(0, v.first).UTC().Format(time.RFC3339),
+		time.Unix(0, v.last).UTC().Format(time.RFC3339),
+		time.Duration(span).Round(time.Second), width, perCol.Round(time.Second))
+
+	label := len("stn ")
+	for _, s := range v.stations {
+		if n := len("stn ") + len(s); n > label {
+			label = n
+		}
+	}
+	if n := len("sat 0000"); n > label {
+		label = n
+	}
+
+	for _, sat := range v.sats {
+		capture := make([]bool, width)
+		contact := make([]bool, width)
+		grant := make([]bool, width)
+		faulted := make([]bool, width)
+		overflow := make([]bool, width)
+		markPoints(capture, v.satCaptures[sat])
+		markPoints(overflow, v.satOverflow[sat])
+		mark(contact, v.satContacts[sat])
+		mark(grant, v.satGrants[sat])
+		mark(faulted, v.faultIntervals(sat))
+		row := make([]byte, width)
+		for c := 0; c < width; c++ {
+			g := byte('.')
+			switch {
+			case grant[c]:
+				g = 'G'
+			case contact[c]:
+				g = 'o'
+			case capture[c]:
+				g = 'c'
+			}
+			if faulted[c] {
+				g = overlay[g]
+			}
+			if overflow[c] {
+				g = '!'
+			}
+			row[c] = g
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", label, fmt.Sprintf("sat %d", sat), row)
+	}
+	for _, stn := range v.stations {
+		grant := make([]bool, width)
+		outage := make([]bool, width)
+		fade := make([]bool, width)
+		mark(grant, v.stnGrants[stn])
+		for kind, ivs := range v.stnFaults[stn] {
+			switch kind {
+			case "link_fade":
+				mark(fade, ivs)
+			default: // station_outage (and any future station-scoped kind)
+				mark(outage, ivs)
+			}
+		}
+		row := make([]byte, width)
+		for c := 0; c < width; c++ {
+			g := byte('.')
+			if grant[c] {
+				g = 'G'
+			}
+			switch {
+			case outage[c] && g == '.':
+				g = 'O'
+			case outage[c]:
+				g = '#'
+			case fade[c] && g == '.':
+				g = '~'
+			case fade[c]:
+				g = '#'
+			}
+			row[c] = g
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", label, "stn "+stn, row)
+	}
+	b.WriteString("legend: c capture  o contact  G grant  ! defer overflow  " +
+		"~ f x # fault overlay  stn rows: O outage  ~ fade\n")
+	return b.String()
+}

@@ -1,0 +1,248 @@
+package events
+
+import (
+	"sort"
+	"time"
+)
+
+// interval is a half-open [lo, hi) mission-time slice in Unix ns.
+type interval struct{ lo, hi int64 }
+
+func (iv interval) dur() time.Duration { return time.Duration(iv.hi - iv.lo) }
+
+// missionView is the journal reassembled into the mission's geometry:
+// per-satellite capture instants, contact and grant intervals, fault
+// windows re-paired from their enter/exit events, and deferral-buffer
+// overflow totals. Every slice is deterministically ordered, so a view is
+// a pure function of the event set.
+type missionView struct {
+	first, last int64 // mission-time extent (Unix ns); 0,0 when untimed
+
+	sats     []int
+	stations []string
+
+	satCaptures  map[int][]int64
+	satOverflow  map[int][]int64
+	satContacts  map[int][]interval
+	satGrants    map[int][]interval
+	satFaults    map[int]map[string][]interval // kind -> windows
+	stnGrants    map[string][]interval
+	stnFaults    map[string]map[string][]interval // kind -> windows
+	overflowBits map[int]float64
+}
+
+// span is the journal's mission-time extent in ns (at least 1 when any
+// timed event exists, so callers can divide by it).
+func (v *missionView) span() int64 {
+	if v.last <= v.first {
+		return 1
+	}
+	return v.last - v.first
+}
+
+// buildView reassembles a journal. Planning events (SimNs 0) carry no
+// mission time and are skipped. Contacts and grants carry their own
+// extents (ContactEnd and DownlinkGrant both record seconds); fault
+// windows are re-paired from enter/exit events by (kind, sat, station),
+// with unmatched edges clamped to the journal extent.
+func buildView(evs []Event) *missionView {
+	v := &missionView{
+		satCaptures:  map[int][]int64{},
+		satOverflow:  map[int][]int64{},
+		satContacts:  map[int][]interval{},
+		satGrants:    map[int][]interval{},
+		satFaults:    map[int]map[string][]interval{},
+		stnGrants:    map[string][]interval{},
+		stnFaults:    map[string]map[string][]interval{},
+		overflowBits: map[int]float64{},
+	}
+	timed := make([]Event, 0, len(evs))
+	for _, e := range evs {
+		if e.SimNs > 0 {
+			timed = append(timed, e)
+		}
+	}
+	if len(timed) == 0 {
+		return v
+	}
+	Sort(timed)
+	v.first, v.last = timed[0].SimNs, timed[0].SimNs
+	satSet := map[int]bool{}
+	stationSet := map[string]bool{}
+	for _, e := range timed {
+		if e.SimNs > v.last {
+			v.last = e.SimNs
+		}
+		if e.Sat >= 0 {
+			satSet[e.Sat] = true
+		}
+		if e.Station != "" {
+			stationSet[e.Station] = true
+		}
+	}
+
+	addFault := func(kind string, sat int, station string, iv interval) {
+		if sat >= 0 {
+			if v.satFaults[sat] == nil {
+				v.satFaults[sat] = map[string][]interval{}
+			}
+			v.satFaults[sat][kind] = append(v.satFaults[sat][kind], iv)
+		}
+		if station != "" {
+			if v.stnFaults[station] == nil {
+				v.stnFaults[station] = map[string][]interval{}
+			}
+			v.stnFaults[station][kind] = append(v.stnFaults[station][kind], iv)
+		}
+	}
+	type faultKey struct {
+		kind    string
+		sat     int
+		station string
+	}
+	open := map[faultKey][]int64{}
+	for _, e := range timed {
+		switch e.Type {
+		case Capture:
+			v.satCaptures[e.Sat] = append(v.satCaptures[e.Sat], e.SimNs)
+		case DeferOverflow:
+			v.satOverflow[e.Sat] = append(v.satOverflow[e.Sat], e.SimNs)
+			v.overflowBits[e.Sat] += e.Value
+		case ContactEnd:
+			iv := interval{e.SimNs - int64(e.Value*float64(time.Second)), e.SimNs}
+			v.satContacts[e.Sat] = append(v.satContacts[e.Sat], iv)
+		case DownlinkGrant:
+			iv := interval{e.SimNs, e.SimNs + int64(e.Value*float64(time.Second))}
+			v.satGrants[e.Sat] = append(v.satGrants[e.Sat], iv)
+			v.stnGrants[e.Station] = append(v.stnGrants[e.Station], iv)
+		case FaultEnter:
+			k := faultKey{e.Detail, e.Sat, e.Station}
+			open[k] = append(open[k], e.SimNs)
+		case FaultExit:
+			k := faultKey{e.Detail, e.Sat, e.Station}
+			if starts := open[k]; len(starts) > 0 {
+				addFault(k.kind, k.sat, k.station, interval{starts[0], e.SimNs})
+				open[k] = starts[1:]
+			} else {
+				addFault(k.kind, k.sat, k.station, interval{v.first, e.SimNs})
+			}
+		}
+	}
+	// Fault windows still open at the journal's end run to its edge, in
+	// deterministic key order.
+	keys := make([]faultKey, 0, len(open))
+	for k := range open {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.sat != b.sat {
+			return a.sat < b.sat
+		}
+		return a.station < b.station
+	})
+	for _, k := range keys {
+		for _, start := range open[k] {
+			addFault(k.kind, k.sat, k.station, interval{start, v.last})
+		}
+	}
+
+	for s := range satSet {
+		v.sats = append(v.sats, s)
+	}
+	sort.Ints(v.sats)
+	for s := range stationSet {
+		v.stations = append(v.stations, s)
+	}
+	sort.Strings(v.stations)
+	return v
+}
+
+// faultIntervals returns the satellite's fault windows restricted to the
+// given kinds (all kinds when none given), merged and sorted.
+func (v *missionView) faultIntervals(sat int, kinds ...string) []interval {
+	var ivs []interval
+	byKind := v.satFaults[sat]
+	if len(kinds) == 0 {
+		names := make([]string, 0, len(byKind))
+		for k := range byKind {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		kinds = names
+	}
+	for _, k := range kinds {
+		ivs = append(ivs, byKind[k]...)
+	}
+	return mergeIntervals(ivs)
+}
+
+// mergeIntervals unions overlapping intervals into a sorted, disjoint
+// set.
+func mergeIntervals(ivs []interval) []interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sorted := append([]interval(nil), ivs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].lo != sorted[j].lo {
+			return sorted[i].lo < sorted[j].lo
+		}
+		return sorted[i].hi < sorted[j].hi
+	})
+	out := sorted[:1]
+	for _, iv := range sorted[1:] {
+		if iv.lo <= out[len(out)-1].hi {
+			if iv.hi > out[len(out)-1].hi {
+				out[len(out)-1].hi = iv.hi
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// totalDur sums a disjoint interval set.
+func totalDur(ivs []interval) time.Duration {
+	var d time.Duration
+	for _, iv := range ivs {
+		d += iv.dur()
+	}
+	return d
+}
+
+// overlap returns how much of [lo, hi) the merged set covers.
+func overlap(ivs []interval, lo, hi int64) time.Duration {
+	var d int64
+	for _, iv := range ivs {
+		a, b := iv.lo, iv.hi
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		if b > a {
+			d += b - a
+		}
+	}
+	return time.Duration(d)
+}
+
+// pointsInside counts instants covered by the merged set.
+func pointsInside(pts []int64, ivs []interval) int {
+	n := 0
+	for _, t := range pts {
+		for _, iv := range ivs {
+			if t >= iv.lo && t < iv.hi {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}

@@ -12,8 +12,9 @@ import (
 // endpoint streaming samples as they are recorded, and a self-contained
 // HTML page (zero external assets — inline CSS and JS, canvas-drawn
 // sparklines) that renders the hot-path series an operator watches during
-// a contact: transform latency, pool occupancy, cache hit rate, and
-// downlink utilization.
+// a contact: transform latency, pool occupancy, cache hit rate, downlink
+// utilization, and the mission-event and deferral-drain rates published
+// by journaled simulation runs (sim.events.*, sim.drain.*).
 
 // StreamHandler serves the recorder's samples as Server-Sent Events:
 // first the retained fine-resolution history (so a freshly opened
@@ -143,6 +144,15 @@ const PANELS = [
                 for (const k in c) if (k.startsWith("server.http.requests/"))
                   r = (r||0) + c[k].rate;
                 return r; } },
+  { key: "events",  title: "mission event rate", unit: "events/s",
+    get: s => { const c = s.counters||{};
+                let r = null;
+                for (const k in c) if (k.startsWith("sim.events."))
+                  r = (r||0) + c[k].rate;
+                return r; } },
+  { key: "drain",   title: "deferral drain delivered", unit: "Gbit/s",
+    get: s => { const d = (s.counters||{})["sim.drain.delivered_bits"];
+                return d ? d.rate / 1e9 : null; } },
   { key: "slo",     title: "slo worst state", unit: "0 ok · 1 warn · 2 page",
     get: s => { const g = s.gauges||{};
                 let worst = null;

@@ -83,6 +83,34 @@ if ! cmp -s "$smokedir/sum.a" "$smokedir/sum.b"; then
     exit 1
 fi
 
+# Mission-event smoke: journal the same mission at two worker counts and
+# require byte-identical JSONL; run every kodan-events subcommand; and
+# check the anomaly gate's exit-code contract — 0 on a clean run, 2 on a
+# seeded-fault run. Mirrored in .github/workflows/ci.yml.
+echo "==> kodan-events smoke"
+go run ./cmd/kodan-sim -hours 6 -sats 4 -parallel 1 \
+    -events "$smokedir/ev.p1.jsonl" > /dev/null 2> /dev/null
+go run ./cmd/kodan-sim -hours 6 -sats 4 -parallel 4 \
+    -events "$smokedir/ev.p4.jsonl" > /dev/null 2> /dev/null
+if ! cmp -s "$smokedir/ev.p1.jsonl" "$smokedir/ev.p4.jsonl"; then
+    echo "verify: event journal differs across -parallel 1 vs 4" >&2
+    exit 1
+fi
+go run ./cmd/kodan-sim -hours 6 -sats 4 -parallel 4 \
+    -fault-intensity 1 -fault-seed 7 \
+    -events "$smokedir/ev.fault.jsonl" > /dev/null 2> /dev/null
+go run ./cmd/kodan-events summary "$smokedir/ev.p1.jsonl" > /dev/null
+go run ./cmd/kodan-events timeline "$smokedir/ev.fault.jsonl" > /dev/null
+go run ./cmd/kodan-events diff "$smokedir/ev.p1.jsonl" "$smokedir/ev.fault.jsonl" > /dev/null
+if ! go run ./cmd/kodan-events anomalies "$smokedir/ev.p1.jsonl" > /dev/null; then
+    echo "verify: anomalies flagged a clean journal" >&2
+    exit 1
+fi
+if go run ./cmd/kodan-events anomalies "$smokedir/ev.fault.jsonl" > /dev/null; then
+    echo "verify: anomalies missed the seeded-fault journal" >&2
+    exit 1
+fi
+
 # Perf-harness smoke: record a baseline from a tiny subset (including the
 # fault-injection resilience sweep and the quantized figure-8 variant),
 # compare a second run against it (generous threshold — this verifies the
