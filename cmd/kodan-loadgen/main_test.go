@@ -1,0 +1,73 @@
+package main
+
+import (
+	"testing"
+
+	"kodan/internal/loadgen"
+)
+
+func TestParseTenants(t *testing.T) {
+	specs, err := parseTenants("ops:3,science:1:2, batch:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []loadgen.TenantSpec{
+		{Name: "ops", Weight: 3, Share: 3},
+		{Name: "science", Weight: 1, Share: 2},
+		{Name: "batch", Weight: 0.5, Share: 0.5},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(specs), len(want))
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Errorf("spec %d: got %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+	if specs, err := parseTenants(""); err != nil || specs != nil {
+		t.Errorf("empty spec must mean default tenant mix, got %v, %v", specs, err)
+	}
+	for _, bad := range []string{":1", "a:b", "a:-1", "a:1:0", "a:1:2:3"} {
+		if _, err := parseTenants(bad); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}
+
+func TestParsePools(t *testing.T) {
+	apps, err := parseInts("1, 2,3")
+	if err != nil || len(apps) != 3 || apps[2] != 3 {
+		t.Fatalf("parseInts: %v, %v", apps, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("parseInts accepted garbage")
+	}
+	seeds, err := parseUints("7,8")
+	if err != nil || len(seeds) != 2 || seeds[0] != 7 {
+		t.Fatalf("parseUints: %v, %v", seeds, err)
+	}
+	if _, err := parseUints("-1"); err == nil {
+		t.Error("parseUints accepted a negative seed")
+	}
+}
+
+func TestGates(t *testing.T) {
+	clean := &loadgen.Report{Requests: 10, Completed: 10, Fairness: 1}
+	if failed := gates(clean, 0.01, 0.5); len(failed) != 0 {
+		t.Errorf("clean run failed gates: %v", failed)
+	}
+	errors := &loadgen.Report{Requests: 10, Completed: 5, Errors: 5, ErrorRate: 0.5, Fairness: 1}
+	if failed := gates(errors, 0.01, 0.5); len(failed) != 1 {
+		t.Errorf("want exactly the error-rate gate, got %v", failed)
+	}
+	unfair := &loadgen.Report{Requests: 10, Completed: 10, Fairness: 0.3}
+	if failed := gates(unfair, 0.01, 0.5); len(failed) != 1 {
+		t.Errorf("want exactly the fairness gate, got %v", failed)
+	}
+	// 429s are backpressure: a run that completes nothing still fails, but
+	// rejections alone do not trip the error-rate gate.
+	starved := &loadgen.Report{Requests: 10, Rejected: 10, Fairness: 1}
+	if failed := gates(starved, 0.01, 0.5); len(failed) != 1 {
+		t.Errorf("want exactly the no-completions gate, got %v", failed)
+	}
+}

@@ -7,7 +7,18 @@
 // Usage:
 //
 //	kodan-server [-addr :8080] [-seed 2023] [-frames 120] [-workers 2] [-queue 8] [-timeout 120s]
+//	             [-shards 4] [-cache-entries 1024] [-batch-window 0] [-batch-max 8]
+//	             [-tenant-rate 0] [-tenant-burst 0] [-retry-jitter 2]
 //	             [-debug-addr :6060] [-sample 1s] [-slo-latency 30s] [-trace FILE] [-log text|json]
+//
+// The serving plane is multi-tenant: requests carry their tenant in the
+// X-Kodan-Tenant header (anonymous traffic shares a default tenant),
+// worker slots are granted by weighted fair queueing with a per-tenant
+// wait-queue bound, -tenant-rate adds per-tenant token-bucket admission
+// (rejections get 429 with a deterministically jittered Retry-After), the
+// plan/transform cache is sharded -shards ways with a bounded LRU, and
+// -batch-window coalesces compatible transform requests into one batched
+// pipeline pass.
 //
 // Endpoints:
 //
@@ -66,8 +77,15 @@ func main() {
 	seed := flag.Uint64("seed", 2023, "default transformation seed")
 	frames := flag.Int("frames", 120, "representative dataset size in frames")
 	workers := flag.Int("workers", 2, "concurrent transform workers")
-	queue := flag.Int("queue", 8, "transform wait-queue depth (beyond this: 429)")
+	queue := flag.Int("queue", 8, "per-tenant transform wait-queue depth (beyond this: 429)")
 	timeout := flag.Duration("timeout", 120*time.Second, "per-request processing ceiling")
+	shards := flag.Int("shards", 4, "plan/transform cache shard count")
+	cacheEntries := flag.Int("cache-entries", 1024, "completed cache entries retained across shards (LRU beyond this; -1 = unbounded)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate in req/s (0 = no per-tenant rate limit)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant admission burst (0 = 2x rate)")
+	batchWindow := flag.Duration("batch-window", 0, "coalesce compatible transform requests for this long into one batched pass (0 = off)")
+	batchMax := flag.Int("batch-max", 8, "max transform requests per batched pass")
+	retryJitter := flag.Int("retry-jitter", 2, "max seconds of deterministic jitter added to Retry-After (0 = none)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars, and /debug/dash on this address (empty = disabled)")
 	sample := flag.Duration("sample", time.Second, "flight-recorder sampling interval")
@@ -95,10 +113,17 @@ func main() {
 	}
 
 	cfg := server.Config{
-		Seed:       *seed,
-		Workers:    *workers,
-		QueueDepth: *queue,
-		Timeout:    *timeout,
+		Seed:                *seed,
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		Timeout:             *timeout,
+		CacheShards:         *shards,
+		CacheEntries:        *cacheEntries,
+		TenantRate:          *tenantRate,
+		TenantBurst:         *tenantBurst,
+		BatchWindow:         *batchWindow,
+		BatchMax:            *batchMax,
+		RetryAfterJitterMax: *retryJitter,
 		TransformConfig: func(seed uint64) kodan.TransformConfig {
 			c := kodan.DefaultTransformConfig(seed)
 			c.Frames = *frames
@@ -164,6 +189,8 @@ func main() {
 	logger.Info("started",
 		"addr", *addr, "seed", *seed, "workers", *workers, "queue", *queue,
 		"timeout", timeout.String(), "cache_entries", m.Cache.Entries,
+		"cache_shards", m.Cache.Shards, "cache_capacity", m.Cache.Capacity,
+		"batch_window", batchWindow.String(), "tenant_rate", *tenantRate,
 		"debug_addr", *debugAddr, "sample", sample.String())
 
 	sigCh := make(chan os.Signal, 1)

@@ -1,0 +1,170 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"kodan/internal/server"
+	"kodan/internal/telemetry"
+)
+
+// ServingRow is one serving configuration's measured outcome under the
+// shared multi-tenant load stream.
+//
+// Unlike every other bench figure, the serving sweep is MEASURED, not
+// derived: throughput and latency come from wall-clock observation of a
+// live server under load, so they vary run to run and across machines.
+// The deterministic columns — request accounting, fairness inputs, and
+// the byte-identity of responses across configurations — are the
+// correctness claims; the timing columns are the performance claim.
+type ServingRow struct {
+	// Config is "baseline" (one cache shard, no batching) or "tuned"
+	// (sharded cache plus request batching). Everything else — stream,
+	// workers, queue, admission, cost model — is identical.
+	Config string
+	// Shards is the cache shard count.
+	Shards int
+	// Batched reports whether request batching was on.
+	Batched bool
+	// Requests/Completed/Rejected/Errors account for every request in the
+	// stream (Rejected counts 429 backpressure, not errors).
+	Requests  int
+	Completed int
+	Rejected  int
+	Errors    int
+	// ThroughputRPS is completed requests per wall-clock second.
+	ThroughputRPS float64
+	// P50Ms and P99Ms are response-latency percentiles in milliseconds.
+	P50Ms float64
+	P99Ms float64
+	// Fairness is the Jain index over weight-normalized per-tenant
+	// goodput (1 = perfectly weighted-fair).
+	Fairness float64
+	// DigestsMatch reports whether this configuration's responses were
+	// byte-identical to the baseline's for every shared completed request
+	// (vacuously true on the baseline row).
+	DigestsMatch bool
+}
+
+// sweepParams sizes the serving sweep: the stream and the stub cost
+// model. The key pool (SeedPool x Apps) is larger than the stream's
+// working set so cache misses dominate, and the per-pass Fixed cost
+// dwarfs Marginal so batching has overhead to amortize — the regime the
+// batcher targets (one model load serving many requests).
+func sweepParams(full bool) (Options, WorkModel, []int) {
+	apps := []int{1, 2, 3, 4, 5, 6, 7}
+	opts := Options{
+		Seed:        2023,
+		Requests:    150,
+		Concurrency: 32,
+		SeedPool:    []uint64{1, 2, 3, 4},
+		Apps:        apps,
+		Tenants: []TenantSpec{
+			{Name: "ops", Weight: 3, Share: 3},
+			{Name: "science", Weight: 1, Share: 1},
+		},
+	}
+	work := WorkModel{Fixed: 15 * time.Millisecond, Marginal: time.Millisecond}
+	if full {
+		opts.Requests = 400
+		work = WorkModel{Fixed: 40 * time.Millisecond, Marginal: 2 * time.Millisecond}
+	}
+	return opts, work, apps
+}
+
+// ServingSweep measures the serving plane under the multi-tenant load
+// stream: a baseline server (single cache shard, no batching) versus the
+// tuned configuration (sharded cache, request batching), same stream.
+// Both servers share one stub pipeline (one prebuilt workspace and
+// application set), so the comparison isolates the serving plane: cache
+// sharding and batching are the only variables.
+func ServingSweep(ctx context.Context, full bool) ([]ServingRow, error) {
+	ctx, span := telemetry.StartSpan(ctx, "figure.serving")
+	defer span.End()
+
+	opts, work, apps := sweepParams(full)
+	newSystem, transform, transformBatch, err := StubPipeline(work, apps)
+	if err != nil {
+		return nil, err
+	}
+	serverConfig := func(shards int, batch time.Duration) server.Config {
+		return server.Config{
+			Seed:           7,
+			Workers:        4,
+			QueueDepth:     256,
+			Timeout:        60 * time.Second,
+			NewSystem:      newSystem,
+			Transform:      transform,
+			TransformBatch: transformBatch,
+			CacheShards:    shards,
+			BatchWindow:    batch,
+			BatchMax:       8,
+			TenantWeights:  map[string]float64{"ops": 3, "science": 1},
+		}
+	}
+
+	runConfig := func(cfg server.Config) (*Report, error) {
+		s := server.New(cfg)
+		defer s.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(ln) //nolint:errcheck // Close below owns shutdown
+		defer hs.Close()
+		o := opts
+		o.BaseURL = "http://" + ln.Addr().String()
+		return Run(ctx, o)
+	}
+
+	base, err := runConfig(serverConfig(1, 0))
+	if err != nil {
+		return nil, err
+	}
+	tuned, err := runConfig(serverConfig(8, 5*time.Millisecond))
+	if err != nil {
+		return nil, err
+	}
+
+	row := func(config string, shards int, batched bool, rep *Report, match bool) ServingRow {
+		return ServingRow{
+			Config: config, Shards: shards, Batched: batched,
+			Requests: rep.Requests, Completed: rep.Completed,
+			Rejected: rep.Rejected, Errors: rep.Errors,
+			ThroughputRPS: rep.ThroughputRPS, P50Ms: rep.P50Ms, P99Ms: rep.P99Ms,
+			Fairness: rep.Fairness, DigestsMatch: match,
+		}
+	}
+	return []ServingRow{
+		row("baseline", 1, false, base, true),
+		row("tuned", 8, true, tuned, CompareDigests(base, tuned) == nil),
+	}, nil
+}
+
+// RenderServing formats the serving sweep.
+func RenderServing(rows []ServingRow) string {
+	var b strings.Builder
+	b.WriteString("Serving sweep: multi-tenant load against the serving plane (measured, not derived)\n")
+	fmt.Fprintf(&b, "%9s %7s %8s %9s %10s %9s %7s %9s %8s %8s %9s %8s\n",
+		"Config", "Shards", "Batched", "Requests", "Completed", "Rejected", "Errors",
+		"Thruput", "p50(ms)", "p99(ms)", "Fairness", "Digests")
+	for _, r := range rows {
+		digests := "differ"
+		if r.DigestsMatch {
+			digests = "match"
+		}
+		fmt.Fprintf(&b, "%9s %7d %8t %9d %10d %9d %7d %9.1f %8.1f %8.1f %9.3f %8s\n",
+			r.Config, r.Shards, r.Batched, r.Requests, r.Completed, r.Rejected, r.Errors,
+			r.ThroughputRPS, r.P50Ms, r.P99Ms, r.Fairness, digests)
+	}
+	if len(rows) == 2 && rows[0].ThroughputRPS > 0 {
+		fmt.Fprintf(&b, "headline: sharding+batching sustains %.2fx baseline throughput, responses byte-identical: %t\n",
+			rows[1].ThroughputRPS/rows[0].ThroughputRPS, rows[1].DigestsMatch)
+	}
+	return b.String()
+}

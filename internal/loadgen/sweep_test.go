@@ -1,0 +1,47 @@
+package loadgen
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestServingSweepQuick runs the quick-size serving sweep end to end:
+// both configurations serve every request, responses are byte-identical
+// across configurations, and the render carries the headline.
+func TestServingSweepQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots two servers and drives 300 requests")
+	}
+	rows, err := ServingSweep(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Config != "baseline" || rows[1].Config != "tuned" {
+		t.Fatalf("want [baseline tuned], got %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Errors != 0 {
+			t.Errorf("%s: %d errors", r.Config, r.Errors)
+		}
+		if r.Completed+r.Rejected != r.Requests {
+			t.Errorf("%s: %d completed + %d rejected != %d requests", r.Config, r.Completed, r.Rejected, r.Requests)
+		}
+		if r.ThroughputRPS <= 0 {
+			t.Errorf("%s: no throughput measured", r.Config)
+		}
+		if !r.DigestsMatch {
+			t.Errorf("%s: responses diverged from baseline", r.Config)
+		}
+	}
+	if rows[0].Shards != 1 || rows[0].Batched {
+		t.Errorf("baseline must be single-shard unbatched: %+v", rows[0])
+	}
+	if rows[1].Shards <= 1 || !rows[1].Batched {
+		t.Errorf("tuned must be sharded and batched: %+v", rows[1])
+	}
+	out := RenderServing(rows)
+	if !strings.Contains(out, "headline:") || !strings.Contains(out, "byte-identical: true") {
+		t.Errorf("render missing headline:\n%s", out)
+	}
+}

@@ -1,161 +1,27 @@
 package server
 
-import (
-	"context"
-	"sync"
+import "kodan/internal/shardcache"
 
-	"kodan/internal/telemetry"
-)
+// The server's result cache is the sharded single-flight cache in
+// internal/shardcache: consistent hashing across CacheShards independent
+// shards, bounded LRU retention (Config.CacheEntries), reference-counted
+// cancellation, and per-shard plus aggregate counters in the shared
+// telemetry registry. The aliases below keep the server's historical
+// names (CacheSource, CacheHit, ...) for handlers and tests.
+
+// Cache is the sharded single-flight result cache.
+type Cache = shardcache.Cache
 
 // CacheSource says how a cache lookup was served.
-type CacheSource int
+type CacheSource = shardcache.Source
 
 // Lookup outcomes.
 const (
 	// CacheMiss means the caller became the leader and computed the value.
-	CacheMiss CacheSource = iota
+	CacheMiss = shardcache.Miss
 	// CacheHit means a previously completed value was returned.
-	CacheHit
+	CacheHit = shardcache.Hit
 	// CacheJoin means the caller attached to an in-flight computation
 	// (single-flight deduplication).
-	CacheJoin
+	CacheJoin = shardcache.Join
 )
-
-// String implements fmt.Stringer, for the X-Kodan-Cache response header.
-func (s CacheSource) String() string {
-	switch s {
-	case CacheHit:
-		return "hit"
-	case CacheJoin:
-		return "join"
-	default:
-		return "miss"
-	}
-}
-
-// Cache is a single-flight result cache. For each key, at most one
-// computation runs at a time; concurrent callers with the same key attach
-// to the in-flight computation and all receive the same value. Successful
-// results are retained indefinitely (the key space — seeds x apps x
-// deployments — is small and every value is deterministic); errors are
-// never cached.
-//
-// Cancellation is reference-counted: the computation runs on a context
-// derived from the cache's base context, and when the last waiting caller
-// abandons the key (its own request context done), the computation context
-// is cancelled so the worker can stop promptly. A later request for the
-// same key restarts the computation cleanly.
-type Cache struct {
-	base context.Context
-
-	// Lookup outcomes live in the shared telemetry registry (scope
-	// "server.cache") so the flight recorder and dashboard see hit-rate
-	// time series, not just the cumulative totals /metrics reports.
-	hits   *telemetry.Counter
-	misses *telemetry.Counter
-	joins  *telemetry.Counter
-
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
-}
-
-type cacheEntry struct {
-	done      chan struct{}
-	val       interface{}
-	err       error
-	waiters   int
-	completed bool
-	cancel    context.CancelFunc
-}
-
-// NewCache returns a cache whose computations are bounded by base: when
-// base is cancelled (server shutdown), every in-flight computation is too.
-// Lookup-outcome counters are created in scope (nil scope means they are
-// no-ops and Stats reads zeros).
-func NewCache(base context.Context, scope *telemetry.Scope) *Cache {
-	return &Cache{
-		base:    base,
-		hits:    scope.Counter("hits"),
-		misses:  scope.Counter("misses"),
-		joins:   scope.Counter("joins"),
-		entries: make(map[string]*cacheEntry),
-	}
-}
-
-// Stats returns cumulative hit/miss/join counts.
-func (c *Cache) Stats() (hits, misses, joins int64) {
-	return c.hits.Load(), c.misses.Load(), c.joins.Load()
-}
-
-// Len returns the number of completed entries plus in-flight computations.
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
-
-// Do returns the cached value for key, or computes it with fn. fn receives
-// a context tied to the lifetime of the interested callers (see type
-// comment); ctx only governs how long this caller waits. On ctx
-// expiry the caller detaches and receives ctx.Err() while the computation
-// continues for any remaining waiters.
-func (c *Cache) Do(ctx context.Context, key string, fn func(context.Context) (interface{}, error)) (interface{}, CacheSource, error) {
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		if e.completed {
-			c.hits.Inc()
-			c.mu.Unlock()
-			return e.val, CacheHit, e.err
-		}
-		e.waiters++
-		c.joins.Inc()
-		c.mu.Unlock()
-		return c.wait(ctx, key, e, CacheJoin)
-	}
-
-	cctx, cancel := context.WithCancel(c.base)
-	// The computation is detached from the leader's cancellation (it
-	// belongs to every waiter), but keeps the leader's identity: its spans
-	// parent under the leader's request span and carry its request ID.
-	cctx = telemetry.PropagateTelemetry(ctx, cctx)
-	e := &cacheEntry{done: make(chan struct{}), waiters: 1, cancel: cancel}
-	c.entries[key] = e
-	c.misses.Inc()
-	c.mu.Unlock()
-
-	go func() {
-		val, err := fn(cctx)
-		c.mu.Lock()
-		e.val, e.err = val, err
-		e.completed = true
-		if err != nil && c.entries[key] == e {
-			// Never cache failures; the next request retries.
-			delete(c.entries, key)
-		}
-		close(e.done)
-		c.mu.Unlock()
-		cancel()
-	}()
-	return c.wait(ctx, key, e, CacheMiss)
-}
-
-// wait blocks until the entry completes or the caller's context is done.
-func (c *Cache) wait(ctx context.Context, key string, e *cacheEntry, src CacheSource) (interface{}, CacheSource, error) {
-	select {
-	case <-e.done:
-		return e.val, src, e.err
-	case <-ctx.Done():
-		c.mu.Lock()
-		e.waiters--
-		if e.waiters == 0 && !e.completed {
-			// Last interested caller gone: stop the computation and clear
-			// the slot so a future request restarts it.
-			e.cancel()
-			if c.entries[key] == e {
-				delete(c.entries, key)
-			}
-		}
-		c.mu.Unlock()
-		return nil, src, ctx.Err()
-	}
-}

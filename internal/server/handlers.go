@@ -110,29 +110,31 @@ func writeJSONError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorBody{Error: msg})
 }
 
-// retryAfterSeconds renders a Retry-After header value covering d,
-// rounded up and never below one second.
-func retryAfterSeconds(d time.Duration) string {
+// retryAfter renders a Retry-After value covering d plus the server's
+// seeded jitter (0..RetryAfterJitterMax seconds), so rejected clients
+// retry spread out instead of as a synchronized herd. Without configured
+// jitter the value is exact.
+func (s *Server) retryAfter(d time.Duration) string {
 	secs := int(math.Ceil(d.Seconds()))
 	if secs < 1 {
 		secs = 1
 	}
-	return fmt.Sprint(secs)
+	return fmt.Sprint(secs + s.jitter.seconds())
 }
 
 // writeError maps pipeline errors onto HTTP statuses.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrSaturated):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter(time.Second))
 		writeJSONError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrBreakerOpen):
-		w.Header().Set("Retry-After", retryAfterSeconds(s.breaker.Cooldown()))
+		w.Header().Set("Retry-After", s.retryAfter(s.breaker.Cooldown()))
 		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, fault.ErrInjected):
 		// Transient failures survived the retry budget: the client may
 		// try again shortly.
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter(time.Second))
 		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, context.DeadlineExceeded):
 		writeJSONError(w, http.StatusGatewayTimeout, "deadline exceeded")
@@ -181,22 +183,20 @@ func (s *Server) system(ctx context.Context, seed uint64) (*kodan.System, CacheS
 
 // application returns (computing at most once per key, through the worker
 // pool) the transformed application for (seed, app, inference variant).
-func (s *Server) application(ctx context.Context, seed uint64, appIndex int, quantized bool) (*kodan.Application, CacheSource, error) {
+// tenant attributes the pool wait to the caller's fair queue; when
+// batching is enabled, the cache-miss leader coalesces with concurrent
+// same-(seed, variant) misses instead of transforming alone.
+func (s *Server) application(ctx context.Context, tenant string, seed uint64, appIndex int, quantized bool) (*kodan.Application, CacheSource, error) {
 	key := fmt.Sprintf("app|%d|%d|%t", seed, appIndex, quantized)
 	v, src, err := s.cache.Do(ctx, key, func(cctx context.Context) (interface{}, error) {
-		enqueued := time.Now()
-		_, waitSp := telemetry.StartSpan(cctx, "server.pool_wait")
-		if err := s.pool.Acquire(cctx); err != nil {
-			waitSp.End()
-			return nil, err
+		if s.batcher != nil {
+			return s.batcher.submit(cctx, tenant, seed, appIndex, quantized)
 		}
-		waitSp.End()
-		defer s.pool.Release()
-		s.metrics.PoolAcquired(time.Since(enqueued), s.pool.Stats().InFlight)
-		sys, _, err := s.system(cctx, seed)
+		sys, err := s.acquireAndBuild(cctx, tenant, seed)
 		if err != nil {
 			return nil, err
 		}
+		defer s.pool.Release()
 		s.metrics.TransformStarted()
 		start := time.Now()
 		tctx, trSp := telemetry.StartSpan(cctx, "server.transform")
@@ -212,6 +212,30 @@ func (s *Server) application(ctx context.Context, seed uint64, appIndex int, qua
 		return nil, src, err
 	}
 	return v.(*kodan.Application), src, nil
+}
+
+// acquireAndBuild claims a worker slot on tenant's behalf and resolves the
+// seed's workspace. On success the caller owns the slot (pair with
+// s.pool.Release); on error the slot is already returned.
+func (s *Server) acquireAndBuild(ctx context.Context, tenant string, seed uint64) (*kodan.System, error) {
+	enqueued := time.Now()
+	_, waitSp := telemetry.StartSpan(ctx, "server.pool_wait")
+	err := s.pool.Acquire(ctx, tenant)
+	waitSp.End()
+	s.tenants.QueueDepth(tenant, s.pool.QueueDepthOf(tenant))
+	if err != nil {
+		if errors.Is(err, ErrSaturated) {
+			s.tenants.Rejected(tenant)
+		}
+		return nil, err
+	}
+	s.metrics.PoolAcquired(time.Since(enqueued), s.pool.Stats().InFlight)
+	sys, _, err := s.system(ctx, seed)
+	if err != nil {
+		s.pool.Release()
+		return nil, err
+	}
+	return sys, nil
 }
 
 // mission returns the reference mission parameters for a span and
@@ -386,7 +410,7 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	seed := s.seedOf(req)
-	app, src, err := s.application(ctx, seed, req.App, req.Quantized)
+	app, src, err := s.application(ctx, tenantOf(r.Context()), seed, req.App, req.Quantized)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -446,8 +470,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tenant := tenantOf(r.Context())
 	v, src, err := s.cache.Do(ctx, planKey(seed, req.App, req.Quantized, d), func(cctx context.Context) (interface{}, error) {
-		app, _, err := s.application(cctx, seed, req.App, req.Quantized)
+		app, _, err := s.application(cctx, tenant, seed, req.App, req.Quantized)
 		if err != nil {
 			return nil, err
 		}
@@ -553,8 +578,9 @@ func (s *Server) handleHybridPlan(w http.ResponseWriter, r *http.Request, req pl
 		env.BufferFrames = *req.BufferFrames
 	}
 
+	tenant := tenantOf(r.Context())
 	v, src, err := s.cache.Do(ctx, hybridKey(seed, req.App, req.Quantized, d, env), func(cctx context.Context) (interface{}, error) {
-		app, _, err := s.application(cctx, seed, req.App, req.Quantized)
+		app, _, err := s.application(cctx, tenant, seed, req.App, req.Quantized)
 		if err != nil {
 			return nil, err
 		}
@@ -669,7 +695,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	d.FillIdle = !req.NoFill
 
 	seed := s.seedOf(req.planRequest)
-	app, _, err := s.application(ctx, seed, req.App, req.Quantized)
+	app, _, err := s.application(ctx, tenantOf(r.Context()), seed, req.App, req.Quantized)
 	if err != nil {
 		s.writeError(w, err)
 		return

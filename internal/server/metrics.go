@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"kodan/internal/admission"
 	"kodan/internal/telemetry"
 )
 
@@ -170,12 +171,18 @@ type RouteSnapshot struct {
 	Latency  LatencySnapshot  `json:"latency"`
 }
 
-// CacheSnapshot is the cache's exported counters.
+// CacheSnapshot is the cache's exported counters. Shards, Capacity, and
+// Evictions are additive fields from the sharded LRU cache; the original
+// fields keep their names and meaning.
 type CacheSnapshot struct {
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Joins   int64 `json:"singleFlightJoins"`
-	Entries int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Joins     int64 `json:"singleFlightJoins"`
+	Entries   int   `json:"entries"`
+	Evictions int64 `json:"evictions"`
+	Shards    int   `json:"shards"`
+	// Capacity is the completed-entry bound across shards (0 = unbounded).
+	Capacity int `json:"capacity"`
 }
 
 // TransformSnapshot is the transform lifecycle counters.
@@ -202,7 +209,7 @@ type Snapshot struct {
 
 // Snapshot assembles the exported document from the collector plus the
 // cache and pool gauges.
-func (m *Metrics) Snapshot(cache *Cache, pool *Pool) Snapshot {
+func (m *Metrics) Snapshot(cache *Cache, pool *admission.FairPool) Snapshot {
 	snap := Snapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests:      make(map[string]RouteSnapshot),
@@ -215,8 +222,11 @@ func (m *Metrics) Snapshot(cache *Cache, pool *Pool) Snapshot {
 		Telemetry: m.reg.Snapshot(),
 	}
 	if cache != nil {
-		h, mi, j := cache.Stats()
-		snap.Cache = CacheSnapshot{Hits: h, Misses: mi, Joins: j, Entries: cache.Len()}
+		h, mi, j, ev := cache.Stats()
+		snap.Cache = CacheSnapshot{
+			Hits: h, Misses: mi, Joins: j, Entries: cache.Len(),
+			Evictions: ev, Shards: cache.Shards(), Capacity: cache.Capacity(),
+		}
 	}
 	if pool != nil {
 		snap.Pool = pool.Stats()

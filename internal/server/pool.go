@@ -1,83 +1,18 @@
 package server
 
-import (
-	"context"
-	"errors"
-	"sync/atomic"
-)
+import "kodan/internal/admission"
 
-// ErrSaturated is returned by Pool.Acquire when every worker slot is busy
-// and the wait queue is full. HTTP handlers translate it into
-// 429 Too Many Requests with a Retry-After header.
-var ErrSaturated = errors.New("server: worker pool saturated")
+// The server's worker pool is the weighted-fair pool in
+// internal/admission: at most Workers transforms run concurrently, each
+// tenant queues up to QueueDepth waiters, and freed slots go to the
+// queued tenant with the smallest virtual finish tag. With a single
+// tenant (all-anonymous traffic) it behaves exactly like the original
+// FIFO-bounded pool. The aliases keep the server's historical names.
 
-// Pool is a bounded worker pool with an explicitly bounded wait queue —
-// the server's backpressure mechanism for seconds-expensive transforms.
-// At most Workers computations run concurrently; at most QueueDepth more
-// may wait for a slot; beyond that, Acquire fails fast with ErrSaturated
-// instead of letting latency grow without bound.
-type Pool struct {
-	slots    chan struct{}
-	depth    int
-	waiting  atomic.Int64
-	rejected atomic.Int64
-}
+// ErrSaturated is returned by the pool when every worker slot is busy and
+// the caller's tenant queue is full; handlers translate it into 429 Too
+// Many Requests with a Retry-After header.
+var ErrSaturated = admission.ErrSaturated
 
-// NewPool returns a pool with the given worker count and queue depth.
-// Non-positive values fall back to 1 worker / 0 queued.
-func NewPool(workers, queueDepth int) *Pool {
-	if workers <= 0 {
-		workers = 1
-	}
-	if queueDepth < 0 {
-		queueDepth = 0
-	}
-	return &Pool{slots: make(chan struct{}, workers), depth: queueDepth}
-}
-
-// Acquire claims a worker slot, waiting in the queue if all slots are
-// busy. It returns ErrSaturated immediately when the queue is full, or
-// ctx.Err() if the caller's context ends while queued. Every successful
-// Acquire must be paired with Release.
-func (p *Pool) Acquire(ctx context.Context) error {
-	select {
-	case p.slots <- struct{}{}:
-		return nil
-	default:
-	}
-	if p.waiting.Add(1) > int64(p.depth) {
-		p.waiting.Add(-1)
-		p.rejected.Add(1)
-		return ErrSaturated
-	}
-	defer p.waiting.Add(-1)
-	select {
-	case p.slots <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-// Release returns a slot claimed by Acquire.
-func (p *Pool) Release() { <-p.slots }
-
-// PoolStats is a point-in-time snapshot for the metrics endpoint.
-type PoolStats struct {
-	Workers    int   `json:"workers"`
-	QueueDepth int   `json:"queueDepth"`
-	InFlight   int   `json:"inFlight"`
-	Queued     int   `json:"queued"`
-	Rejected   int64 `json:"rejected"`
-}
-
-// Stats snapshots the pool.
-func (p *Pool) Stats() PoolStats {
-	return PoolStats{
-		Workers:    cap(p.slots),
-		QueueDepth: p.depth,
-		InFlight:   len(p.slots),
-		Queued:     int(p.waiting.Load()),
-		Rejected:   p.rejected.Load(),
-	}
-}
+// PoolStats is the pool's point-in-time snapshot for /metrics.
+type PoolStats = admission.PoolStats

@@ -33,12 +33,16 @@ import (
 	"net"
 	"net/http"
 	"regexp"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"kodan"
+	"kodan/internal/admission"
 	"kodan/internal/fault"
+	"kodan/internal/shardcache"
 	"kodan/internal/telemetry"
+	"kodan/internal/xrand"
 )
 
 // TransformFunc runs the one-time transformation of one application on a
@@ -50,6 +54,14 @@ type TransformFunc func(ctx context.Context, sys *kodan.System, appIndex int, qu
 // NewSystemFunc builds the transformation workspace for a seed. The
 // default wires Config.TransformConfig into kodan.NewSystemCtx.
 type NewSystemFunc func(ctx context.Context, cfg kodan.TransformConfig) (*kodan.System, error)
+
+// TransformBatchFunc runs the one-time transformation for several
+// applications of the same (seed, variant) in one batched pipeline pass,
+// returning one result per requested index in order. The default loops
+// Config.Transform (equivalently (*kodan.System).TransformBatchVariantCtx,
+// whose per-tile inference already amortizes through PredictBatch); load
+// tests substitute cost models with an explicit fixed+marginal split.
+type TransformBatchFunc func(ctx context.Context, sys *kodan.System, appIndexes []int, quantized bool) ([]*kodan.Application, error)
 
 // Config sizes the server.
 type Config struct {
@@ -103,6 +115,45 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker rejects requests before
 	// admitting a half-open probe (default 5s).
 	BreakerCooldown time.Duration
+	// CacheShards is how many independent shards the result cache is split
+	// into by consistent hashing (default 4). Responses are byte-identical
+	// at any shard count; sharding only reduces lock contention.
+	CacheShards int
+	// CacheEntries bounds completed cache entries across shards, evicting
+	// least-recently-used entries beyond it (default 1024; negative means
+	// unbounded, the pre-sharding behavior).
+	CacheEntries int
+	// TenantRate enables per-tenant token-bucket admission on the expensive
+	// POST endpoints at this many requests/second per tenant (0 disables —
+	// the default, so library users opt in).
+	TenantRate float64
+	// TenantBurst is the token-bucket depth (default max(1, 2*TenantRate)).
+	TenantBurst float64
+	// TenantWeights maps tenant names to fair-queueing weights (default 1
+	// each): a weight-3 tenant gets 3x the grants of a weight-1 tenant when
+	// both queue, and neither can starve the other.
+	TenantWeights map[string]float64
+	// MaxTenants bounds distinct tenant state — buckets, fair queues,
+	// per-tenant metrics (default admission.DefaultMaxTenants); surplus
+	// tenants share one overflow identity.
+	MaxTenants int
+	// RetryAfterJitterMax adds a seeded random 0..N seconds to every
+	// Retry-After header, desynchronizing client retry herds (default 0:
+	// no jitter, exact headers — tests rely on that).
+	RetryAfterJitterMax int
+	// JitterSeed seeds the Retry-After jitter stream (default Seed), so a
+	// seeded server emits a reproducible jitter sequence.
+	JitterSeed uint64
+	// BatchWindow enables transform batching: a cache-miss transform waits
+	// up to this long for same-(seed, variant) misses to coalesce into one
+	// batched pipeline pass through a single worker slot (0 disables — the
+	// default).
+	BatchWindow time.Duration
+	// BatchMax flushes a batch early once it holds this many transforms
+	// (default 8).
+	BatchMax int
+	// TransformBatch overrides the batched transform (tests, load models).
+	TransformBatch TransformBatchFunc
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +189,24 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
 	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 4
+	}
+	switch {
+	case c.CacheEntries == 0:
+		c.CacheEntries = 1024
+	case c.CacheEntries < 0:
+		c.CacheEntries = 0 // unbounded
+	}
+	if c.RetryAfterJitterMax < 0 {
+		c.RetryAfterJitterMax = 0
+	}
+	if c.JitterSeed == 0 {
+		c.JitterSeed = c.Seed
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 8
+	}
 	return c
 }
 
@@ -150,7 +219,11 @@ type Server struct {
 	baseCancel context.CancelFunc
 
 	cache   *Cache
-	pool    *Pool
+	pool    *admission.FairPool
+	limiter *admission.Limiter
+	tenants *admission.TenantMetrics
+	jitter  *jitterSource
+	batcher *batcher
 	metrics *Metrics
 	probe   telemetry.Probe
 	logger  *slog.Logger
@@ -160,6 +233,24 @@ type Server struct {
 	httpSrv *http.Server
 
 	draining atomic.Bool
+}
+
+// jitterSource is a mutex-wrapped seeded stream for Retry-After jitter:
+// deterministic for a seeded server, shared across handlers.
+type jitterSource struct {
+	mu  sync.Mutex
+	rng *xrand.Rand
+	max int // inclusive upper bound in seconds; 0 disables
+}
+
+// seconds returns the next jitter amount in [0, max] seconds.
+func (j *jitterSource) seconds() int {
+	if j == nil || j.max == 0 {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rng.Intn(j.max + 1)
 }
 
 // New builds a server from the configuration.
@@ -182,17 +273,51 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		baseCtx:    base,
 		baseCancel: cancel,
-		cache:      NewCache(base, metrics.Registry().Scope("server.cache")),
-		pool:       NewPool(cfg.Workers, cfg.QueueDepth),
-		metrics:    metrics,
-		probe:      probe,
-		logger:     logger,
-		breaker:    NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		cache: shardcache.New(base, shardcache.Options{
+			Shards:     cfg.CacheShards,
+			MaxEntries: cfg.CacheEntries,
+			Scope:      metrics.Registry().Scope("server.cache"),
+		}),
+		pool: admission.NewFairPool(admission.FairPoolOptions{
+			Workers:    cfg.Workers,
+			QueueDepth: cfg.QueueDepth,
+			Weights:    cfg.TenantWeights,
+			MaxTenants: cfg.MaxTenants,
+		}),
+		limiter: admission.NewLimiter(admission.LimiterOptions{
+			Rate:       cfg.TenantRate,
+			Burst:      cfg.TenantBurst,
+			MaxTenants: cfg.MaxTenants,
+		}),
+		tenants: admission.NewTenantMetrics(metrics.Registry().Scope("server.tenant"), cfg.MaxTenants),
+		jitter:  &jitterSource{rng: xrand.New(cfg.JitterSeed), max: cfg.RetryAfterJitterMax},
+		metrics: metrics,
+		probe:   probe,
+		logger:  logger,
+		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 	}
 	// Every transform goes through the resilience wrapper: chaos strikes
 	// (when configured), bounded retry for transient failures, and the
 	// circuit breaker. Pass-through in the default configuration.
 	s.cfg.Transform = s.resilientTransform(cfg.Transform)
+	if s.cfg.TransformBatch == nil {
+		// Default batched transform: the resilient per-app transform in a
+		// loop (each member still gets retry/breaker accounting).
+		s.cfg.TransformBatch = func(ctx context.Context, sys *kodan.System, appIndexes []int, quantized bool) ([]*kodan.Application, error) {
+			out := make([]*kodan.Application, len(appIndexes))
+			for i, a := range appIndexes {
+				app, err := s.cfg.Transform(ctx, sys, a, quantized)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = app
+			}
+			return out, nil
+		}
+	}
+	if cfg.BatchWindow > 0 {
+		s.batcher = newBatcher(s, cfg.BatchWindow, cfg.BatchMax)
+	}
 	s.handler = s.routes()
 	s.httpSrv = &http.Server{Handler: s.handler}
 	return s
@@ -247,17 +372,61 @@ func (s *Server) Close() error {
 }
 
 // routes assembles the mux with the metrics/logging middleware on every
-// route.
+// route; the expensive POST endpoints additionally pass the per-tenant
+// token-bucket admission gate.
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.Handle("GET /v1/catalog", s.instrument("/v1/catalog", s.handleCatalog))
-	mux.Handle("POST /v1/transform", s.instrument("/v1/transform", s.handleTransform))
-	mux.Handle("POST /v1/plan", s.instrument("/v1/plan", s.handlePlan))
-	mux.Handle("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
+	mux.Handle("POST /v1/transform", s.instrument("/v1/transform", s.admitted(s.handleTransform)))
+	mux.Handle("POST /v1/plan", s.instrument("/v1/plan", s.admitted(s.handlePlan)))
+	mux.Handle("POST /v1/simulate", s.instrument("/v1/simulate", s.admitted(s.handleSimulate)))
 	return mux
+}
+
+// DefaultTenant is the identity assigned to requests without a
+// well-formed X-Kodan-Tenant header.
+const DefaultTenant = "anon"
+
+// TenantHeader carries the caller's tenant identity.
+const TenantHeader = "X-Kodan-Tenant"
+
+// tenantPattern is what an inbound tenant name must match to be used;
+// anything else (or nothing) becomes DefaultTenant, so header junk cannot
+// mint unbounded metric names or queues.
+var tenantPattern = regexp.MustCompile(`^[A-Za-z0-9_.-]{1,32}$`)
+
+// tenantKey carries the resolved tenant through request contexts.
+type tenantKey struct{}
+
+// tenantOf returns the tenant resolved by instrument (DefaultTenant when
+// the context never passed through it, e.g. direct handler tests).
+func tenantOf(ctx context.Context) string {
+	if t, ok := ctx.Value(tenantKey{}).(string); ok {
+		return t
+	}
+	return DefaultTenant
+}
+
+// admitted wraps an expensive handler with the per-tenant token bucket.
+// With no TenantRate configured the limiter is nil and every request
+// passes. Rejections are 429s whose Retry-After covers the bucket refill
+// (plus jitter, when configured).
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tenant := tenantOf(r.Context())
+		if ok, retryAfter := s.limiter.Allow(tenant); !ok {
+			s.tenants.Rejected(tenant)
+			w.Header().Set("Retry-After", s.retryAfter(retryAfter))
+			writeJSONError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("tenant %q over admission rate", tenant))
+			return
+		}
+		s.tenants.Admitted(tenant)
+		h(w, r)
+	}
 }
 
 // requestIDPattern is what an inbound X-Request-ID must match to be
@@ -280,8 +449,14 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 			reqID = telemetry.NewRequestID()
 		}
 		w.Header().Set("X-Request-ID", reqID)
+		tenant := r.Header.Get(TenantHeader)
+		if !tenantPattern.MatchString(tenant) {
+			tenant = DefaultTenant
+		}
+		s.tenants.Request(tenant)
 
 		ctx := telemetry.WithProbe(r.Context(), s.probe)
+		ctx = context.WithValue(ctx, tenantKey{}, tenant)
 		ctx = telemetry.WithRequestID(ctx, reqID)
 		ctx = telemetry.WithLogger(ctx, s.logger)
 		ctx, span := telemetry.StartSpan(ctx, "http."+route)
@@ -302,6 +477,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 				slog.String(telemetry.RequestIDAttr, reqID),
 				slog.String("method", r.Method),
 				slog.String("route", route),
+				slog.String("tenant", tenant),
 				slog.Int("status", sw.status),
 				slog.Int64("durMs", d.Milliseconds()),
 			)

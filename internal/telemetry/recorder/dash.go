@@ -153,6 +153,25 @@ const PANELS = [
   { key: "drain",   title: "deferral drain delivered", unit: "Gbit/s",
     get: s => { const d = (s.counters||{})["sim.drain.delivered_bits"];
                 return d ? d.rate / 1e9 : null; } },
+  { key: "admit",   title: "admission rejects", unit: "429/s (all tenants)",
+    get: s => { const c = s.counters||{};
+                let r = null;
+                for (const k in c)
+                  if (k.startsWith("server.tenant.") && k.endsWith(".rejected"))
+                    r = (r||0) + c[k].rate;
+                return r; } },
+  { key: "tenantq", title: "tenant queue depth", unit: "waiters (all tenants)",
+    get: s => { const g = s.gauges||{};
+                let d = null;
+                for (const k in g)
+                  if (k.startsWith("server.tenant.") && k.endsWith(".queue_depth"))
+                    d = (d||0) + g[k].value;
+                return d; } },
+  { key: "batch",   title: "batch coalescing", unit: "requests per pass",
+    get: s => { const c = s.counters||{};
+                const f = c["server.batch.flushes"], m = c["server.batch.batched"];
+                if (!f || f.delta <= 0) return null;
+                return (m?m.delta:0) / f.delta; } },
   { key: "slo",     title: "slo worst state", unit: "0 ok · 1 warn · 2 page",
     get: s => { const g = s.gauges||{};
                 let worst = null;

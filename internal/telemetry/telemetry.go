@@ -400,6 +400,15 @@ type Scope struct {
 	prefix string
 }
 
+// Scope returns a nested scope: metric names created through it carry both
+// prefixes ("parent.child."). Nil-safe like Registry.Scope.
+func (s *Scope) Scope(name string) *Scope {
+	if s == nil {
+		return nil
+	}
+	return &Scope{r: s.r, prefix: s.prefix + name + "."}
+}
+
 // Counter returns the scoped counter (nil on a nil scope).
 func (s *Scope) Counter(name string) *Counter {
 	if s == nil {

@@ -127,4 +127,16 @@ if go run ./cmd/kodan-bench -size quick -only table1 \
     exit 1
 fi
 
+# Serving smoke: drive the self-hosted serving plane with the
+# deterministic multi-tenant stream, comparing a single-shard/no-batch
+# baseline against the sharded+batched configuration over the same
+# stream. kodan-loadgen exits nonzero when the error-rate or fairness
+# gate fails or when responses diverge from the baseline. Mirrored in
+# .github/workflows/ci.yml.
+echo "==> kodan-loadgen smoke"
+go run ./cmd/kodan-loadgen -requests 120 -concurrency 16 \
+    -seed-pool 1,2,3,4 -apps 1,2,3,4,5,6,7 -tenants ops:3,science:1 \
+    -batch-window 5ms -work-fixed 15ms -work-marginal 1ms \
+    -compare > /dev/null
+
 echo "verify: OK"
